@@ -1,0 +1,163 @@
+// Google-benchmark microbenchmarks for the hot paths: field arithmetic,
+// RS encode/decode at the PAIR and DUO shapes, the incremental parity
+// delta, Hamming codecs, full scheme read/write paths, and controller
+// scheduling throughput. These are simulator-engineering numbers (how fast
+// the reproduction runs), not claims about DRAM hardware.
+#include <benchmark/benchmark.h>
+
+#include "core/pair_scheme.hpp"
+#include "dram/rank.hpp"
+#include "ecc/scheme.hpp"
+#include "hamming/hamming.hpp"
+#include "rs/rs_code.hpp"
+#include "timing/controller.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace pair_ecc;
+
+void BM_GfMul(benchmark::State& state) {
+  const auto& f = gf::GfField::Get(8);
+  util::Xoshiro256 rng(1);
+  gf::Elem a = static_cast<gf::Elem>(1 + rng.UniformBelow(255));
+  gf::Elem b = static_cast<gf::Elem>(1 + rng.UniformBelow(255));
+  for (auto _ : state) {
+    a = f.Mul(a, b);
+    b = static_cast<gf::Elem>(a | 1);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_GfMul);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto code = rs::RsCode::Gf256(static_cast<unsigned>(state.range(0)) + 4,
+                                      static_cast<unsigned>(state.range(0)));
+  util::Xoshiro256 rng(2);
+  std::vector<gf::Elem> data(code.k());
+  for (auto& s : data) s = static_cast<gf::Elem>(rng.UniformBelow(256));
+  for (auto _ : state) {
+    auto cw = code.Encode(data);
+    benchmark::DoNotOptimize(cw);
+  }
+}
+BENCHMARK(BM_RsEncode)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RsDecodeClean(benchmark::State& state) {
+  const auto code = rs::RsCode::Gf256(68, 64);
+  util::Xoshiro256 rng(3);
+  std::vector<gf::Elem> data(code.k());
+  for (auto& s : data) s = static_cast<gf::Elem>(rng.UniformBelow(256));
+  const auto clean = code.Encode(data);
+  for (auto _ : state) {
+    auto word = clean;
+    auto res = code.Decode(std::span<gf::Elem>(word));
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_RsDecodeClean);
+
+void BM_RsDecodeErrors(benchmark::State& state) {
+  const auto code = rs::RsCode::Gf256(68, 64);
+  util::Xoshiro256 rng(4);
+  std::vector<gf::Elem> data(code.k());
+  for (auto& s : data) s = static_cast<gf::Elem>(rng.UniformBelow(256));
+  const auto clean = code.Encode(data);
+  const auto errors = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto word = clean;
+    for (unsigned e = 0; e < errors; ++e)
+      word[(e * 17) % word.size()] ^= static_cast<gf::Elem>(0x5A + e);
+    auto res = code.Decode(std::span<gf::Elem>(word));
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_RsDecodeErrors)->Arg(1)->Arg(2);
+
+void BM_RsParityDelta(benchmark::State& state) {
+  const auto code = rs::RsCode::Gf256(68, 64);
+  unsigned i = 0;
+  for (auto _ : state) {
+    auto d = code.ParityDelta(i % code.k(), static_cast<gf::Elem>(i | 1));
+    benchmark::DoNotOptimize(d);
+    ++i;
+  }
+}
+BENCHMARK(BM_RsParityDelta);
+
+void BM_HammingDecode136(benchmark::State& state) {
+  const auto code = hamming::HammingCode::OnDie136();
+  util::Xoshiro256 rng(5);
+  auto cw = code.Encode(util::BitVec::Random(128, rng));
+  cw.Flip(17);
+  for (auto _ : state) {
+    auto word = cw;
+    auto res = code.Decode(word);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_HammingDecode136);
+
+void BM_SchemeWriteLine(benchmark::State& state) {
+  dram::RankGeometry rg;
+  dram::Rank rank(rg);
+  auto scheme =
+      ecc::MakeScheme(static_cast<ecc::SchemeKind>(state.range(0)), rank);
+  util::Xoshiro256 rng(6);
+  const auto line = util::BitVec::Random(rg.LineBits(), rng);
+  unsigned col = 0;
+  for (auto _ : state) {
+    scheme->WriteLine({0, 0, col}, line);
+    col = (col + 1) % 128;
+  }
+  state.SetLabel(scheme->Name());
+}
+BENCHMARK(BM_SchemeWriteLine)
+    ->Arg(static_cast<int>(ecc::SchemeKind::kIecc))
+    ->Arg(static_cast<int>(ecc::SchemeKind::kXed))
+    ->Arg(static_cast<int>(ecc::SchemeKind::kDuo))
+    ->Arg(static_cast<int>(ecc::SchemeKind::kPair4));
+
+void BM_SchemeReadLine(benchmark::State& state) {
+  dram::RankGeometry rg;
+  dram::Rank rank(rg);
+  auto scheme =
+      ecc::MakeScheme(static_cast<ecc::SchemeKind>(state.range(0)), rank);
+  util::Xoshiro256 rng(7);
+  for (unsigned col = 0; col < 128; ++col)
+    scheme->WriteLine({0, 0, col}, util::BitVec::Random(rg.LineBits(), rng));
+  unsigned col = 0;
+  for (auto _ : state) {
+    auto r = scheme->ReadLine({0, 0, col});
+    benchmark::DoNotOptimize(r);
+    col = (col + 1) % 128;
+  }
+  state.SetLabel(scheme->Name());
+}
+BENCHMARK(BM_SchemeReadLine)
+    ->Arg(static_cast<int>(ecc::SchemeKind::kIecc))
+    ->Arg(static_cast<int>(ecc::SchemeKind::kXed))
+    ->Arg(static_cast<int>(ecc::SchemeKind::kDuo))
+    ->Arg(static_cast<int>(ecc::SchemeKind::kPair4));
+
+void BM_ControllerThroughput(benchmark::State& state) {
+  const timing::TimingParams params;
+  workload::WorkloadConfig cfg;
+  cfg.num_requests = 5000;
+  cfg.pattern = workload::Pattern::kRandom;
+  for (auto _ : state) {
+    timing::Controller ctrl(params,
+                            timing::SchemeTiming::FromPerf({}, params));
+    auto trace = workload::Generate(cfg);
+    auto stats = ctrl.Run(trace);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cfg.num_requests);
+}
+BENCHMARK(BM_ControllerThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared helpers for the table/figure regeneration binaries.
+//
+// Each bench_* binary regenerates one table or figure of the reconstructed
+// PAIR evaluation (see DESIGN.md's experiment index) and prints it as an
+// aligned table plus, when PAIR_BENCH_CSV is set in the environment, as CSV
+// for plotting pipelines. Binaries are deterministic: every stochastic
+// component is seeded from the constants below and the seeds are printed.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+#include "util/table.hpp"
+
+namespace pair_ecc::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 0xB0A7ull;
+
+/// The scheme line-up most experiments compare (order = table order).
+inline std::vector<ecc::SchemeKind> ComparedSchemes() {
+  return {ecc::SchemeKind::kIecc, ecc::SchemeKind::kSecDed,
+          ecc::SchemeKind::kIeccSecDed, ecc::SchemeKind::kXed,
+          ecc::SchemeKind::kDuo,  ecc::SchemeKind::kPair2,
+          ecc::SchemeKind::kPair4, ecc::SchemeKind::kPair4SecDed};
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& what) {
+  std::cout << "==================================================\n"
+            << experiment << ": " << what << "\n"
+            << "(seed " << kBenchSeed << ", deterministic)\n"
+            << "==================================================\n";
+}
+
+inline void Emit(const util::Table& table) {
+  table.Print(std::cout);
+  if (std::getenv("PAIR_BENCH_CSV") != nullptr) {
+    std::cout << "\n[csv]\n";
+    table.PrintCsv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace pair_ecc::bench

@@ -1,0 +1,128 @@
+// F10 — the 2x2 alignment-vs-code ablation: which of PAIR's ingredients
+// buys which property. Rows are the four corners of
+// {Hamming SEC, RS t=2} x {bit-interleaved, pin-aligned}; columns are the
+// canonical threat classes. "delivered" is the fraction of reads returning
+// correct data; the parenthesised number is the silent-corruption fraction.
+#include "bench/bench_common.hpp"
+
+#include <functional>
+
+#include "core/ablation.hpp"
+#include "core/pair_scheme.hpp"
+#include "dram/rank.hpp"
+#include "faults/injector.hpp"
+#include "reliability/outcome.hpp"
+#include "util/rng.hpp"
+
+using namespace pair_ecc;
+
+namespace {
+
+using SchemeFactory =
+    std::function<std::unique_ptr<ecc::Scheme>(dram::Rank&)>;
+
+struct Cell {
+  double delivered = 0;
+  double due = 0;
+  double sdc = 0;
+};
+
+Cell RunThreat(const SchemeFactory& make, faults::FaultType threat,
+               unsigned trials, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Cell cell;
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    dram::RankGeometry rg;
+    dram::Rank rank(rg);
+    auto scheme = make(rank);
+    const auto col = static_cast<unsigned>(rng.UniformBelow(128));
+    const dram::Address addr{0, 1, col};
+    const auto line = util::BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    faults::Injector injector(rank, {{0, 1}});
+    if (threat == faults::FaultType::kPinBurst) {
+      // Aligned to the read column so every trial is a hit.
+      const auto pin = static_cast<unsigned>(rng.UniformBelow(8));
+      const auto dev = static_cast<unsigned>(rng.UniformBelow(8));
+      for (unsigned i = 0; i < 8; ++i)
+        rank.device(dev).InjectFlip(
+            0, 1, dram::PinLineBit(rg.device, pin, col * 8 + i));
+    } else {
+      injector.Inject(threat, /*permanent=*/true, rng);
+    }
+    const auto r = scheme->ReadLine(addr);
+    switch (reliability::Classify(r.claim, r.data, line)) {
+      case reliability::Outcome::kNoError:
+      case reliability::Outcome::kCorrected:
+        ++cell.delivered;
+        break;
+      case reliability::Outcome::kDue:
+        ++cell.due;
+        break;
+      default:
+        ++cell.sdc;
+        break;
+    }
+  }
+  cell.delivered /= trials;
+  cell.due /= trials;
+  cell.sdc /= trials;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("F10", "alignment x code ablation (2x2 matrix)");
+
+  const std::pair<const char*, SchemeFactory> corners[] = {
+      {"SEC / interleaved (IECC)",
+       [](dram::Rank& r) { return ecc::MakeScheme(ecc::SchemeKind::kIecc, r); }},
+      {"SEC / pin-aligned (PA-SEC)",
+       [](dram::Rank& r) { return core::MakePinAlignedSec(r); }},
+      {"RS t=2 / interleaved (IL-RS)",
+       [](dram::Rank& r) { return core::MakeInterleavedRs(r); }},
+      {"RS t=2 / pin-aligned (PAIR-4)",
+       [](dram::Rank& r) {
+         return std::make_unique<core::PairScheme>(r,
+                                                   core::PairConfig::Pair4());
+       }},
+      // Design-knob ablation within the winning corner: decode only the
+      // covering codeword instead of the whole pin line (assumption [A4]);
+      // the pin-fault SDC column shows the cross-detection it gives up.
+      {"PAIR-4, covering-cw decode only",
+       [](dram::Rank& r) {
+         core::PairConfig cfg = core::PairConfig::Pair4();
+         cfg.decode_full_pin_line = false;
+         return std::make_unique<core::PairScheme>(r, cfg);
+       }},
+  };
+  const std::pair<const char*, faults::FaultType> threats[] = {
+      {"cell", faults::FaultType::kSingleBit},
+      {"8-beat burst", faults::FaultType::kPinBurst},
+      {"pin", faults::FaultType::kSinglePin},
+      {"word", faults::FaultType::kSingleWord},
+  };
+  constexpr unsigned kTrials = 250;
+
+  util::Table t({"scheme (code / layout)", "threat", "delivered", "DUE",
+                 "SDC"});
+  for (const auto& [name, make] : corners) {
+    for (const auto& [tname, threat] : threats) {
+      const auto cell = RunThreat(make, threat, kTrials,
+                                  bench::kBenchSeed +
+                                      static_cast<unsigned>(threat));
+      t.AddRow({name, tname, util::Table::Fixed(cell.delivered, 3),
+                util::Table::Fixed(cell.due, 3),
+                util::Table::Fixed(cell.sdc, 3)});
+    }
+  }
+  bench::Emit(t);
+
+  std::cout << "Shape check: only the RS+pin-aligned corner (PAIR) delivers\n"
+               "correct data through bursts AND keeps clustered faults out\n"
+               "of the SDC column. Alignment without symbols (PA-SEC) still\n"
+               "miscorrects; symbols without alignment (IL-RS) detect bursts\n"
+               "they could have corrected. Both ingredients are needed.\n";
+  return 0;
+}

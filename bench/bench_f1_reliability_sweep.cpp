@@ -1,0 +1,62 @@
+// F1 — failure probability vs inherent-fault rate.
+//
+// For each scheme, per-trial outcome rates are measured conditioned on an
+// exact fault count N = 1..4 drawn from the field-style inherent mix, then
+// folded over Poisson(lambda) fault counts for a sweep of lambda (expected
+// inherent faults per rank working set). This is the headline reliability
+// figure: P(SDC) and P(any failure incl. DUE) per scheme, as fault density
+// scales.
+#include "bench/bench_common.hpp"
+
+#include "reliability/monte_carlo.hpp"
+
+using namespace pair_ecc;
+
+int main() {
+  bench::PrintHeader("F1", "reliability vs inherent fault rate (mix: field)");
+
+  constexpr unsigned kTrials = 500;
+  constexpr unsigned kMaxFaults = 4;
+  const double lambdas[] = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+
+  util::Table t({"scheme", "lambda", "P(SDC)", "P(DUE)", "P(failure)"});
+  util::Table cond({"scheme", "N faults", "trial SDC rate", "trial DUE rate",
+                    "95% CI (SDC)"});
+
+  for (const auto kind : bench::ComparedSchemes()) {
+    std::vector<reliability::OutcomeCounts> conditional;
+    for (unsigned n = 1; n <= kMaxFaults; ++n) {
+      reliability::ScenarioConfig cfg;
+      cfg.scheme = kind;
+      cfg.mix = faults::FaultMix::Inherent();
+      cfg.faults_per_trial = n;
+      cfg.working_rows = 1;
+      cfg.lines_per_row = 4;
+      cfg.seed = bench::kBenchSeed + n;
+      conditional.push_back(reliability::RunMonteCarlo(cfg, kTrials));
+      const auto ci = conditional.back().TrialSdcInterval();
+      cond.AddRow({ecc::ToString(kind), std::to_string(n),
+                   util::Table::Sci(conditional.back().TrialSdcRate()),
+                   util::Table::Sci(conditional.back().TrialDueRate()),
+                   "[" + util::Table::Sci(ci.lower) + ", " +
+                       util::Table::Sci(ci.upper) + "]"});
+    }
+    for (const double lambda : lambdas) {
+      const auto est = reliability::CombinePoisson(conditional, lambda);
+      t.AddRow({ecc::ToString(kind), util::Table::Fixed(lambda, 2),
+                util::Table::Sci(est.p_sdc), util::Table::Sci(est.p_due),
+                util::Table::Sci(est.p_failure)});
+    }
+  }
+
+  std::cout << "-- conditional rates (N exact faults, " << kTrials
+            << " trials each) --\n";
+  bench::Emit(cond);
+  std::cout << "-- Poisson-combined sweep --\n";
+  bench::Emit(t);
+
+  std::cout << "Shape check: PAIR-4's SDC stays orders of magnitude below\n"
+               "XED/IECC across the sweep; DUO's SDC is comparable to PAIR\n"
+               "while paying bus bandwidth (F4) for it.\n";
+  return 0;
+}

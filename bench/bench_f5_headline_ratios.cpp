@@ -1,0 +1,121 @@
+// F5 — the abstract's headline ratios: PAIR's reliability advantage over
+// XED (claimed "up to 10^6x") and DUO (claimed "~10x"), across fault-mix
+// scenarios. Reliability here is per-trial survival: 1 - P(SDC) primarily,
+// with P(any failure) reported alongside.
+//
+// Zero-SDC cells are reported through their 95% Wilson upper bound, so the
+// printed ratio is a LOWER bound on the true advantage (the honest way to
+// report "we never saw PAIR fail in N trials").
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "reliability/analytic.hpp"
+#include "reliability/monte_carlo.hpp"
+
+using namespace pair_ecc;
+
+namespace {
+
+double SdcOrUpperBound(const reliability::OutcomeCounts& c) {
+  if (c.trials_with_sdc > 0) return c.TrialSdcRate();
+  return c.TrialSdcInterval().upper;  // rare-event upper bound
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("F5", "headline reliability ratios (PAIR-4 vs baselines)");
+
+  struct Scenario {
+    const char* name;
+    faults::FaultMix mix;
+    unsigned faults;
+  };
+  const Scenario scenarios[] = {
+      {"field mix, 2 faults", faults::FaultMix::Inherent(), 2},
+      {"field mix, 4 faults", faults::FaultMix::Inherent(), 4},
+      {"cell-only, 4 faults", faults::FaultMix::CellOnly(), 4},
+      {"clustered, 2 faults", faults::FaultMix::Clustered(), 2},
+  };
+  constexpr unsigned kTrials = 1500;
+
+  util::Table t({"scenario", "scheme", "P(SDC)/trial", "P(fail)/trial",
+                 "PAIR-4 SDC advantage"});
+  for (const auto& sc : scenarios) {
+    std::map<ecc::SchemeKind, reliability::OutcomeCounts> results;
+    for (const auto kind :
+         {ecc::SchemeKind::kXed, ecc::SchemeKind::kDuo, ecc::SchemeKind::kIecc,
+          ecc::SchemeKind::kPair4, ecc::SchemeKind::kPair4SecDed}) {
+      reliability::ScenarioConfig cfg;
+      cfg.scheme = kind;
+      cfg.mix = sc.mix;
+      cfg.faults_per_trial = sc.faults;
+      cfg.working_rows = 1;
+      cfg.lines_per_row = 4;
+      cfg.seed = bench::kBenchSeed + sc.faults;
+      results[kind] = reliability::RunMonteCarlo(cfg, kTrials);
+    }
+    const double pair_sdc = SdcOrUpperBound(results[ecc::SchemeKind::kPair4]);
+    for (const auto& [kind, counts] : results) {
+      const double sdc = SdcOrUpperBound(counts);
+      std::string advantage = "-";
+      if (kind != ecc::SchemeKind::kPair4 &&
+          kind != ecc::SchemeKind::kPair4SecDed) {
+        advantage = util::Table::Sci(sdc / std::max(pair_sdc, 1e-12)) +
+                    (counts.trials_with_sdc == 0 ||
+                             results.at(ecc::SchemeKind::kPair4)
+                                     .trials_with_sdc == 0
+                         ? " (bound)"
+                         : "");
+      }
+      t.AddRow({sc.name, ecc::ToString(kind),
+                util::Table::Sci(counts.TrialSdcRate()) +
+                    (counts.trials_with_sdc == 0 ? " (<" +
+                         util::Table::Sci(counts.TrialSdcInterval().upper) +
+                         ")" : ""),
+                util::Table::Sci(counts.TrialFailureRate()), advantage});
+    }
+  }
+  bench::Emit(t);
+
+  // Where "up to 10^6" lives: the analytic cell-fault model. XED/IECC SDC
+  // needs a PAIR of faults in one of 64 on-die words (then ~88%
+  // miscorrection); PAIR-4 needs a TRIPLE in one of 16 pin codewords (then
+  // ~3.2%, squared to ~1e-3 by full-pin-line cross-checking for structural
+  // patterns — we conservatively use the single-codeword rate here). Folding
+  // those overwhelm probabilities over Poisson(lambda) fault counts, the
+  // advantage scales like 1/lambda: at sparse field rates it passes 10^6.
+  {
+    constexpr unsigned kMaxN = 10;
+    constexpr double kIeccMiscorrect = 0.883;  // exact, T2
+    constexpr double kPairMiscorrect = 0.032;  // MC, T2
+    util::Table a({"lambda (faults/row)", "P(SDC) IECC/XED-like",
+                   "P(SDC) PAIR-4-like", "advantage"});
+    for (const double lambda : {1.0, 0.1, 0.01, 1e-3, 3e-4}) {
+      double p_iecc = 0.0, p_pair = 0.0;
+      double pmf = std::exp(-lambda);
+      for (unsigned n = 1; n <= kMaxN; ++n) {
+        pmf *= lambda / n;
+        const auto ov = reliability::CodewordOverwhelmProbability(n);
+        p_iecc += pmf * ov.iecc * kIeccMiscorrect;
+        p_pair += pmf * ov.pair4 * kPairMiscorrect;
+      }
+      a.AddRow({util::Table::Sci(lambda, 0), util::Table::Sci(p_iecc),
+                util::Table::Sci(p_pair),
+                util::Table::Sci(p_iecc / std::max(p_pair, 1e-300))});
+    }
+    std::cout << "-- analytic cell-fault scaling (overwhelm x miscorrect) --\n";
+    bench::Emit(a);
+  }
+
+  std::cout << "Shape check: XED's SDC sits orders of magnitude above\n"
+               "PAIR-4's in every distributed-fault scenario; the analytic\n"
+               "model shows the advantage growing as 1/lambda and crossing\n"
+               "10^6 at sparse field fault rates — the abstract's 'up to\n"
+               "10^6x'. DUO and PAIR-4 are within roughly an order of\n"
+               "magnitude of each other.\n";
+  return 0;
+}

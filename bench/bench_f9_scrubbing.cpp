@@ -1,0 +1,53 @@
+// F9 — patrol scrubbing vs fault accumulation over a deployment window.
+//
+// Cell-only, transient-dominant arrivals (the regime where scrubbing has
+// leverage): schemes whose failure mode is "two faults meet in one
+// codeword" (IECC, XED) depend heavily on the scrub interval; PAIR-4's
+// t = 2 per pin codeword already absorbs pairs, so its curve is flat —
+// scrubbing is a nicety, not a crutch.
+#include "bench/bench_common.hpp"
+
+#include "reliability/lifetime.hpp"
+
+using namespace pair_ecc;
+
+int main() {
+  bench::PrintHeader("F9", "scrub interval vs lifetime SDC (cell-only mix)");
+
+  constexpr unsigned kTrials = 100;
+  const unsigned intervals[] = {0, 16, 4};  // 0 = never
+  const ecc::SchemeKind schemes[] = {
+      ecc::SchemeKind::kIecc, ecc::SchemeKind::kXed, ecc::SchemeKind::kDuo,
+      ecc::SchemeKind::kPair4};
+
+  util::Table t({"scheme", "scrub every", "P(SDC) @ horizon",
+                 "P(DUE) @ horizon", "mean SDC epoch", "corrections"});
+  for (const auto kind : schemes) {
+    for (const unsigned interval : intervals) {
+      reliability::LifetimeConfig cfg;
+      cfg.scheme = kind;
+      cfg.mix = faults::FaultMix::CellOnly();
+      cfg.mix.permanent_fraction = 0.1;
+      cfg.epochs = 24;
+      cfg.faults_per_epoch = 1.0;
+      cfg.scrub_interval = interval;
+      cfg.working_rows = 1;
+      cfg.lines_per_row = 4;
+      cfg.seed = bench::kBenchSeed;
+      const auto s = reliability::RunLifetime(cfg, kTrials);
+      t.AddRow({ecc::ToString(kind),
+                interval == 0 ? "never" : std::to_string(interval) + " epochs",
+                util::Table::Fixed(s.SdcProbability(), 4),
+                util::Table::Fixed(s.DueProbability(), 4),
+                util::Table::Fixed(s.mean_sdc_epoch, 1),
+                std::to_string(s.total_corrections)});
+    }
+  }
+  bench::Emit(t);
+
+  std::cout << "Shape check: IECC/XED lifetime SDC drops sharply with\n"
+               "aggressive scrubbing (their SDC is an accumulation product);\n"
+               "PAIR-4 sits near zero at every interval because pairs of\n"
+               "cell faults are within its per-codeword budget.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// T2 — miscorrection behaviour of each code vs injected error multiplicity:
+// the quantitative version of the paper's motivation ("conventional IECC
+// schemes have concerns about miscorrection").
+//
+// Hamming rows are exact where enumeration is possible; RS rows are
+// Monte-Carlo (100k patterns per cell) with the sphere-packing bound
+// printed for reference.
+#include "bench/bench_common.hpp"
+
+#include "hamming/hamming.hpp"
+#include "reliability/analytic.hpp"
+#include "rs/rs_code.hpp"
+
+using namespace pair_ecc;
+
+int main() {
+  bench::PrintHeader("T2", "miscorrection probability vs error multiplicity");
+
+  {
+    util::Table t({"code", "double-error miscorrection", "method"});
+    const auto ondie = hamming::HammingCode::OnDie136();
+    t.AddRow({"IECC Hamming (136,128) SEC",
+              util::Table::Fixed(ondie.DoubleErrorMiscorrectionRate(), 4),
+              "exact (all pairs)"});
+    const auto secded = hamming::HammingCode::SecDed72();
+    t.AddRow({"SECDED (72,64)",
+              util::Table::Fixed(secded.DoubleErrorMiscorrectionRate(), 4),
+              "exact (all pairs)"});
+    bench::Emit(t);
+  }
+
+  {
+    util::Table t({"code", "errors", "corrected", "miscorrected (SDC)",
+                   "detected", "undetected"});
+    struct Row {
+      const char* name;
+      rs::RsCode code;
+    };
+    const Row rows[] = {
+        {"PAIR-2 RS(34,32) t=1", rs::RsCode::Gf256(34, 32)},
+        {"PAIR-4 RS(68,64) t=2", rs::RsCode::Gf256(68, 64)},
+        {"DUO RS(76,64) t=6", rs::RsCode::Gf256(76, 64)},
+    };
+    for (const auto& row : rows) {
+      for (unsigned e = 1; e <= row.code.t() + 2; ++e) {
+        const auto b = reliability::RsErrorBreakdown(row.code, e, 100000,
+                                                     bench::kBenchSeed + e);
+        t.AddRow({row.name, std::to_string(e), util::Table::Fixed(b.corrected, 4),
+                  util::Table::Sci(b.miscorrected), util::Table::Fixed(b.detected, 4),
+                  util::Table::Sci(b.undetected)});
+      }
+    }
+    bench::Emit(t);
+  }
+
+  {
+    util::Table t({"code", "random-garbage miscorrection bound V_t(n)/q^r"});
+    t.AddRow({"PAIR-2 RS(34,32)", util::Table::Sci(
+        reliability::RsRandomWordMiscorrectionBound(rs::RsCode::Gf256(34, 32)))});
+    t.AddRow({"PAIR-4 RS(68,64)", util::Table::Sci(
+        reliability::RsRandomWordMiscorrectionBound(rs::RsCode::Gf256(68, 64)))});
+    t.AddRow({"DUO RS(76,64)", util::Table::Sci(
+        reliability::RsRandomWordMiscorrectionBound(rs::RsCode::Gf256(76, 64)))});
+    bench::Emit(t);
+  }
+
+  std::cout << "Shape check: the SEC code miscorrects the majority of double\n"
+               "errors; PAIR-4 corrects them outright; beyond-budget RS\n"
+               "patterns overwhelmingly detect. PAIR additionally requires\n"
+               "every codeword of the pin line to decode, squaring the\n"
+               "residual miscorrection odds for structural faults.\n";
+  return 0;
+}

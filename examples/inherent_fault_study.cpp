@@ -1,0 +1,90 @@
+// Scenario: a reliability architect sizes in-DRAM ECC for a scaled DRAM
+// die. Given a fault-density forecast (expected inherent faults per rank
+// working set over the deployment window), compare the protection options
+// end to end and print the decision table.
+//
+// Usage: inherent_fault_study [trials] [lambda]
+//   trials — Monte-Carlo trials per (scheme, fault-count) cell (default 300)
+//   lambda — expected fault count for the Poisson combination (default 0.5)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "reliability/monte_carlo.hpp"
+#include "util/table.hpp"
+
+using namespace pair_ecc;
+
+int main(int argc, char** argv) {
+  const unsigned trials = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 300;
+  const double lambda = argc > 2 ? std::atof(argv[2]) : 0.5;
+  if (trials == 0 || lambda <= 0.0) {
+    std::cerr << "usage: inherent_fault_study [trials>0] [lambda>0]\n";
+    return 1;
+  }
+
+  std::cout << "Sizing study: field-style inherent fault mix, lambda = "
+            << lambda << " expected faults, " << trials
+            << " trials per cell\n\n";
+
+  const ecc::SchemeKind options[] = {
+      ecc::SchemeKind::kIecc,  ecc::SchemeKind::kIeccSecDed,
+      ecc::SchemeKind::kXed,   ecc::SchemeKind::kDuo,
+      ecc::SchemeKind::kPair4, ecc::SchemeKind::kPair4SecDed,
+  };
+
+  util::Table t({"option", "P(silent corruption)", "P(detected fail)",
+                 "P(any failure)", "on-die storage", "notes"});
+  for (const auto kind : options) {
+    std::vector<reliability::OutcomeCounts> conditional;
+    for (unsigned n = 1; n <= 3; ++n) {
+      reliability::ScenarioConfig cfg;
+      cfg.scheme = kind;
+      cfg.faults_per_trial = n;
+      cfg.working_rows = 1;
+      cfg.lines_per_row = 4;
+      cfg.seed = 7000 + n;
+      conditional.push_back(reliability::RunMonteCarlo(cfg, trials));
+    }
+    const auto est = reliability::CombinePoisson(conditional, lambda);
+
+    std::string notes;
+    switch (kind) {
+      case ecc::SchemeKind::kIecc:
+        notes = "write RMW; miscorrects clustered faults";
+        break;
+      case ecc::SchemeKind::kIeccSecDed:
+        notes = "needs ECC DIMM; still write RMW";
+        break;
+      case ecc::SchemeKind::kXed:
+        notes = "silent on-die miscorrection passes through";
+        break;
+      case ecc::SchemeKind::kDuo:
+        notes = "BL9 burst: ~11% bus bandwidth";
+        break;
+      case ecc::SchemeKind::kPair4:
+        notes = "6.25% on-die only; no RMW, no extra beats";
+        break;
+      case ecc::SchemeKind::kPair4SecDed:
+        notes = "PAIR + ECC DIMM belt-and-braces";
+        break;
+      default:
+        break;
+    }
+    dram::RankGeometry rg;
+    dram::Rank rank(rg);
+    auto scheme = ecc::MakeScheme(kind, rank);
+    t.AddRow({scheme->Name(), util::Table::Sci(est.p_sdc),
+              util::Table::Sci(est.p_due), util::Table::Sci(est.p_failure),
+              util::Table::Fixed(scheme->Perf().storage_overhead * 100, 2) + "%",
+              notes});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nReading the table: silent corruption (SDC) is the metric\n"
+               "that matters for data integrity; detected failures (DUE) are\n"
+               "recoverable by higher-level machinery. PAIR keeps SDC at the\n"
+               "rank-RS level while staying inside the on-die budget.\n";
+  return 0;
+}

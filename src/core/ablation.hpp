@@ -1,0 +1,36 @@
+// Ablation schemes that isolate PAIR's two ingredients:
+//
+//                     | bit-interleaved layout | pin-aligned layout
+//   --------------------------------------------------------------------
+//   Hamming SEC       | IECC (baseline)        | PinAlignedSecScheme
+//   RS t=2, 8b symbol | InterleavedRsScheme    | PAIR-4 (the paper)
+//
+// * PinAlignedSecScheme lays a single-error-correcting Hamming codeword
+//   along each 512-bit pin-line segment. Alignment contains a pin fault to
+//   one codeword, but a SEC code facing a multi-bit pattern still
+//   miscorrects about half the time — alignment alone does not fix the
+//   miscorrection problem.
+// * InterleavedRsScheme uses PAIR's exact RS(68,64), but its symbols are
+//   built from *consecutive row bits* (one beat across all pins), the
+//   layout a designer would pick without thinking about pins. A burst or
+//   pin fault now touches one bit of MANY symbols instead of all bits of
+//   few: the same code that corrects a 9-beat pin burst under PAIR only
+//   detects it here.
+//
+// Both are reliability ablations; their PerfDescriptors are neutral
+// (no RMW, no extra beats) so F10 compares error behaviour, not timing.
+#pragma once
+
+#include <memory>
+
+#include "ecc/scheme.hpp"
+
+namespace pair_ecc::core {
+
+/// Hamming SEC along pin lines (alignment without symbol structure).
+std::unique_ptr<ecc::Scheme> MakePinAlignedSec(dram::Rank& rank);
+
+/// PAIR's RS code over a beat-major (pin-oblivious) layout.
+std::unique_ptr<ecc::Scheme> MakeInterleavedRs(dram::Rank& rank);
+
+}  // namespace pair_ecc::core

@@ -1,0 +1,37 @@
+// MakeScheme lives here (not in src/ecc) because it must construct PAIR,
+// which sits above the baseline-scheme library in the layering.
+#include <stdexcept>
+
+#include "core/pair_scheme.hpp"
+#include "ecc/scheme.hpp"
+#include "ecc/schemes_internal.hpp"
+
+namespace pair_ecc::ecc {
+
+std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, dram::Rank& rank) {
+  switch (kind) {
+    case SchemeKind::kNoEcc:
+      return MakeNoEcc(rank);
+    case SchemeKind::kIecc:
+      return MakeIecc(rank);
+    case SchemeKind::kSecDed:
+      return MakeRankSecDed(rank, MakeNoEcc(rank));
+    case SchemeKind::kIeccSecDed:
+      return MakeRankSecDed(rank, MakeIecc(rank));
+    case SchemeKind::kXed:
+      return MakeXed(rank);
+    case SchemeKind::kDuo:
+      return MakeDuo(rank);
+    case SchemeKind::kPair2:
+      return std::make_unique<core::PairScheme>(rank, core::PairConfig::Pair2());
+    case SchemeKind::kPair4:
+      return std::make_unique<core::PairScheme>(rank, core::PairConfig::Pair4());
+    case SchemeKind::kPair4SecDed:
+      return MakeRankSecDed(
+          rank,
+          std::make_unique<core::PairScheme>(rank, core::PairConfig::Pair4()));
+  }
+  throw std::invalid_argument("MakeScheme: unknown scheme kind");
+}
+
+}  // namespace pair_ecc::ecc

@@ -1,0 +1,67 @@
+// Configuration of the PAIR pin-aligned in-DRAM ECC architecture.
+//
+// A PAIR codeword is a shortened Reed-Solomon code over GF(2^8) laid out
+// *along one DQ pin line*: symbol s of pin p consists of the 8 consecutive
+// row bits that leave the die on pin p during 8 beats (with BL8, exactly
+// the pin's share of one column access). `data_symbols` (k) is the
+// expandability knob: the same `check_symbols` (r) cover more data as k
+// grows, holding the storage budget at the vendor's 6.25 % while keeping
+// symbol-level alignment. The two variants evaluated in the paper's
+// redundancy budget are:
+//
+//   PAIR-2: RS(34,32), t = 1 — minimal decoder, corrects any single-symbol
+//           (= any <= 8-bit aligned burst) error per codeword;
+//   PAIR-4: RS(68,64), t = 2 — the default; corrects any two symbol errors,
+//           hence any <= 9-bit burst along a pin, and pairs of independent
+//           cell faults sharing a codeword.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pair_ecc::core {
+
+struct PairConfig {
+  /// k: data symbols per codeword (expandability knob).
+  unsigned data_symbols = 64;
+  /// r: check symbols per codeword (t = r / 2).
+  unsigned check_symbols = 4;
+  /// Ablation switch (bench F6): when true, writes decode-and-correct the
+  /// whole covering codeword before re-encoding — the conservative internal
+  /// read-modify-write PAIR's delta-parity path is designed to avoid.
+  bool scrub_on_write = false;
+  /// When true (default), a read decodes EVERY codeword of each pin line,
+  /// not just the one covering the addressed column. The whole pin line is
+  /// already latched in the open row's sense amplifiers, so the extra
+  /// decodes are off the critical path; their value is cross-detection: a
+  /// structural fault (dead pin, broken local I/O) corrupts all codewords
+  /// of one pin, and requiring every decode to succeed turns most would-be
+  /// miscorrections of heavy patterns into detected errors.
+  bool decode_full_pin_line = true;
+  /// Added read critical-path latency of the in-DRAM RS decoder, ns.
+  double read_decode_ns = 2.8;
+
+  static PairConfig Pair4() { return {}; }
+
+  static PairConfig Pair2() {
+    PairConfig c;
+    c.data_symbols = 32;
+    c.check_symbols = 2;
+    c.read_decode_ns = 2.2;  // t = 1 datapath is shallower
+    return c;
+  }
+
+  std::string Name() const {
+    return "PAIR-" + std::to_string(check_symbols) +
+           (scrub_on_write ? "(rmw)" : "");
+  }
+
+  void Validate() const {
+    if (data_symbols == 0 || check_symbols == 0)
+      throw std::invalid_argument("PairConfig: zero-sized code");
+    if (data_symbols + check_symbols > 255)
+      throw std::invalid_argument("PairConfig: codeword exceeds GF(256)");
+  }
+};
+
+}  // namespace pair_ecc::core

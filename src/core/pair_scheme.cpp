@@ -1,0 +1,319 @@
+#include "core/pair_scheme.hpp"
+
+#include <stdexcept>
+
+namespace pair_ecc::core {
+
+using dram::PinLineBit;
+using gf::Elem;
+
+namespace {
+constexpr unsigned kSymbolBits = 8;
+}
+
+PairScheme::PairScheme(dram::Rank& rank, const PairConfig& config)
+    : Scheme(rank),
+      config_(config),
+      code_(rs::RsCode::Gf256(config.data_symbols + config.check_symbols,
+                              config.data_symbols)) {
+  config_.Validate();
+  const auto& g = rank.geometry().device;
+  if (g.burst_length % kSymbolBits != 0)
+    throw std::invalid_argument("PAIR: burst length must be a whole number of symbols");
+  if (g.PinLineBits() % kSymbolBits != 0)
+    throw std::invalid_argument("PAIR: pin line must be a whole number of symbols");
+  symbols_per_pin_ = g.PinLineBits() / kSymbolBits;
+  if (symbols_per_pin_ % config_.data_symbols != 0)
+    throw std::invalid_argument("PAIR: codewords must tile the pin line");
+  cw_per_pin_ = symbols_per_pin_ / config_.data_symbols;
+  subsymbols_per_col_ = g.burst_length / kSymbolBits;
+  const unsigned parity_bits =
+      g.dq_pins * cw_per_pin_ * config_.check_symbols * kSymbolBits;
+  if (parity_bits > g.spare_row_bits)
+    throw std::invalid_argument("PAIR: spare region too small for parity");
+}
+
+ecc::PerfDescriptor PairScheme::Perf() const {
+  ecc::PerfDescriptor p;
+  // The delta-parity write path needs no internal column cycle: old data and
+  // parity are in the sense amplifiers of the open row. The scrub-on-write
+  // ablation decodes the covering codeword first, which is an internal RMW.
+  p.write_rmw = config_.scrub_on_write;
+  p.read_decode_ns = config_.read_decode_ns;
+  p.write_encode_ns = config_.scrub_on_write ? 2.5 : 0.8;
+  p.storage_overhead = static_cast<double>(config_.check_symbols) /
+                       static_cast<double>(config_.data_symbols);
+  return p;
+}
+
+unsigned PairScheme::ParityBitOffset(unsigned pin, unsigned w,
+                                     unsigned j) const {
+  const auto& g = rank().geometry().device;
+  return g.row_bits +
+         ((pin * cw_per_pin_ + w) * config_.check_symbols + j) * kSymbolBits;
+}
+
+std::vector<Elem> PairScheme::AssembleCodeword(const util::BitVec& row_image,
+                                               unsigned pin,
+                                               unsigned w) const {
+  const auto& g = rank().geometry().device;
+  std::vector<Elem> word(code_.n());
+  for (unsigned i = 0; i < code_.k(); ++i) {
+    const unsigned s = w * code_.k() + i;
+    Elem v = 0;
+    for (unsigned j = 0; j < kSymbolBits; ++j)
+      v = static_cast<Elem>(
+          v | (row_image.Get(PinLineBit(g, pin, s * kSymbolBits + j)) << j));
+    word[i] = v;
+  }
+  for (unsigned j = 0; j < config_.check_symbols; ++j)
+    word[code_.k() + j] = static_cast<Elem>(
+        row_image.GetWord(ParityBitOffset(pin, w, j), kSymbolBits));
+  return word;
+}
+
+void PairScheme::StoreCodeword(unsigned device, unsigned bank, unsigned row,
+                               unsigned pin, unsigned w,
+                               const std::vector<Elem>& word) {
+  const auto& g = rank().geometry().device;
+  auto& dev = rank().device(device);
+  for (unsigned i = 0; i < code_.k(); ++i) {
+    const unsigned s = w * code_.k() + i;
+    for (unsigned j = 0; j < kSymbolBits; ++j)
+      dev.WriteBit(bank, row, PinLineBit(g, pin, s * kSymbolBits + j),
+                   (word[i] >> j) & 1u);
+  }
+  for (unsigned j = 0; j < config_.check_symbols; ++j) {
+    util::BitVec bits(kSymbolBits);
+    bits.SetWord(0, kSymbolBits, word[code_.k() + j]);
+    dev.WriteBits(bank, row, ParityBitOffset(pin, w, j), bits);
+  }
+}
+
+const std::vector<unsigned>* PairScheme::ErasuresFor(
+    const CodewordRef& ref) const {
+  if (erasures_.empty()) return nullptr;
+  const auto it = erasures_.find(ref);
+  return it == erasures_.end() ? nullptr : &it->second;
+}
+
+bool PairScheme::MarkSymbolErased(unsigned device, unsigned pin, unsigned w,
+                                  unsigned position) {
+  const auto& g = rank().geometry().device;
+  if (device >= rank().DataDevices() || pin >= g.dq_pins ||
+      w >= cw_per_pin_ || position >= code_.n())
+    throw std::invalid_argument("PairScheme::MarkSymbolErased: out of range");
+  auto& list = erasures_[{device, pin, w}];
+  for (unsigned p : list)
+    if (p == position) return false;  // already registered
+  list.push_back(position);
+  return true;
+}
+
+void PairScheme::WriteLine(const dram::Address& addr,
+                           const util::BitVec& line) {
+  const auto& g = rank().geometry().device;
+  const unsigned pins = g.dq_pins;
+
+  for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+    auto& dev = rank().device(d);
+    const util::BitVec new_col = rank().DeviceSlice(line, d);
+    const util::BitVec row_image =
+        dev.ReadBits(addr.bank, addr.row, 0, g.TotalRowBits());
+
+    for (unsigned pin = 0; pin < pins; ++pin) {
+      const unsigned s0 = addr.col * subsymbols_per_col_;
+      const unsigned w0 = s0 / code_.k();
+      const unsigned w1 = (s0 + subsymbols_per_col_ - 1) / code_.k();
+      for (unsigned w = w0; w <= w1; ++w) {
+        auto word = AssembleCodeword(row_image, pin, w);
+
+        // Fast path: if the covering codeword is currently consistent, the
+        // parity moves by the precomputed per-symbol delta — no decode, no
+        // internal column cycle (everything is in the open row's sense
+        // amplifiers). A pure delta update over an *inconsistent* codeword
+        // would carry the old error into the new parity and resurrect it
+        // as a miscorrection on the next read, so a dirty codeword takes
+        // the slow path: decode, splice, re-encode. The syndrome check
+        // reuses the read datapath and errors are rare, so the slow path
+        // is off the performance model (scrub_on_write forces it always,
+        // with the RMW timing cost, as the F6 ablation).
+        const bool clean = !config_.scrub_on_write &&
+                           code_.IsCodeword(std::span<const Elem>(word));
+        if (clean) {
+          std::vector<Elem> parity(word.begin() + code_.k(), word.end());
+          bool parity_changed = false;
+          for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
+            const unsigned s = s0 + q;
+            if (s / code_.k() != w) continue;
+            Elem new_sym = 0;
+            for (unsigned j = 0; j < kSymbolBits; ++j)
+              new_sym = static_cast<Elem>(
+                  new_sym |
+                  (new_col.Get((q * kSymbolBits + j) * pins + pin) << j));
+            const unsigned pos = s % code_.k();
+            const Elem delta = word[pos] ^ new_sym;
+            if (delta == 0) continue;
+            word[pos] = new_sym;
+            const auto pdelta = code_.ParityDelta(pos, delta);
+            for (unsigned j = 0; j < config_.check_symbols; ++j)
+              parity[j] ^= pdelta[j];
+            parity_changed = true;
+            // Write the data symbol.
+            for (unsigned j = 0; j < kSymbolBits; ++j)
+              dev.WriteBit(addr.bank, addr.row,
+                           dram::PinLineBit(g, pin, s * kSymbolBits + j),
+                           (new_sym >> j) & 1u);
+          }
+          if (parity_changed) {
+            for (unsigned j = 0; j < config_.check_symbols; ++j) {
+              util::BitVec bits(kSymbolBits);
+              bits.SetWord(0, kSymbolBits, parity[j]);
+              dev.WriteBits(addr.bank, addr.row, ParityBitOffset(pin, w, j),
+                            bits);
+            }
+          }
+          continue;
+        }
+
+        // Slow path: decode the covering codeword, splice the new symbols
+        // into the corrected data, re-encode from scratch.
+        const auto* er = ErasuresFor({d, pin, w});
+        code_.Decode(std::span<Elem>(word),
+                     er ? std::span<const unsigned>(*er)
+                        : std::span<const unsigned>{});
+        for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
+          const unsigned s = s0 + q;
+          if (s / code_.k() != w) continue;
+          Elem new_sym = 0;
+          for (unsigned j = 0; j < kSymbolBits; ++j)
+            new_sym = static_cast<Elem>(
+                new_sym |
+                (new_col.Get((q * kSymbolBits + j) * pins + pin) << j));
+          word[s % code_.k()] = new_sym;
+        }
+        const auto parity = code_.ComputeParity(
+            std::span<const Elem>(word.data(), code_.k()));
+        for (unsigned j = 0; j < config_.check_symbols; ++j)
+          word[code_.k() + j] = parity[j];
+        StoreCodeword(d, addr.bank, addr.row, pin, w, word);
+      }
+    }
+  }
+}
+
+ecc::ReadResult PairScheme::ReadLine(const dram::Address& addr) {
+  const auto& g = rank().geometry().device;
+  const unsigned pins = g.dq_pins;
+
+  ecc::ReadResult result;
+  result.data = util::BitVec(rank().geometry().LineBits());
+
+  for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+    auto& dev = rank().device(d);
+    const util::BitVec row_image =
+        dev.ReadBits(addr.bank, addr.row, 0, g.TotalRowBits());
+    util::BitVec col_slice(g.AccessBits());
+
+    for (unsigned pin = 0; pin < pins; ++pin) {
+      const unsigned s0 = addr.col * subsymbols_per_col_;
+      // With decode_full_pin_line every codeword of the pin is checked (they
+      // are all in the sense amplifiers); otherwise only the one covering
+      // the addressed column.
+      const unsigned w_begin =
+          config_.decode_full_pin_line ? 0 : s0 / code_.k();
+      const unsigned w_end = config_.decode_full_pin_line
+                                 ? cw_per_pin_ - 1
+                                 : (s0 + subsymbols_per_col_ - 1) / code_.k();
+      for (unsigned w = w_begin; w <= w_end; ++w) {
+        auto word = AssembleCodeword(row_image, pin, w);
+        const auto* er = ErasuresFor({d, pin, w});
+        const auto decode =
+            code_.Decode(std::span<Elem>(word),
+                         er ? std::span<const unsigned>(*er)
+                            : std::span<const unsigned>{});
+        switch (decode.status) {
+          case rs::DecodeStatus::kNoError:
+            break;
+          case rs::DecodeStatus::kCorrected:
+            if (result.claim != ecc::Claim::kDetected)
+              result.claim = ecc::Claim::kCorrected;
+            result.corrected_units += decode.NumCorrected();
+            break;
+          case rs::DecodeStatus::kFailure:
+            result.claim = ecc::Claim::kDetected;
+            break;
+        }
+        // Deliver the (corrected) symbols belonging to the addressed column.
+        for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
+          const unsigned s = s0 + q;
+          if (s / code_.k() != w) continue;
+          const Elem v = word[s % code_.k()];
+          for (unsigned j = 0; j < kSymbolBits; ++j)
+            col_slice.Set((q * kSymbolBits + j) * pins + pin,
+                          (v >> j) & 1u);
+        }
+      }
+    }
+    rank().SetDeviceSlice(result.data, d, col_slice);
+  }
+  return result;
+}
+
+void PairScheme::ScrubLine(const dram::Address& addr) {
+  const auto& g = rank().geometry().device;
+  for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+    auto& dev = rank().device(d);
+    const util::BitVec row_image =
+        dev.ReadBits(addr.bank, addr.row, 0, g.TotalRowBits());
+    for (unsigned pin = 0; pin < g.dq_pins; ++pin) {
+      const unsigned s0 = addr.col * subsymbols_per_col_;
+      const unsigned w0 = s0 / code_.k();
+      const unsigned w1 = (s0 + subsymbols_per_col_ - 1) / code_.k();
+      for (unsigned w = w0; w <= w1; ++w) {
+        auto word = AssembleCodeword(row_image, pin, w);
+        const auto* er = ErasuresFor({d, pin, w});
+        const auto decode =
+            code_.Decode(std::span<Elem>(word),
+                         er ? std::span<const unsigned>(*er)
+                            : std::span<const unsigned>{});
+        if (decode.status == rs::DecodeStatus::kCorrected)
+          StoreCodeword(d, addr.bank, addr.row, pin, w, word);
+      }
+    }
+  }
+}
+
+PairScheme::ScrubStats PairScheme::ScrubRow(unsigned bank, unsigned row) {
+  const auto& g = rank().geometry().device;
+  ScrubStats stats;
+  for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+    auto& dev = rank().device(d);
+    const util::BitVec row_image = dev.ReadBits(bank, row, 0, g.TotalRowBits());
+    for (unsigned pin = 0; pin < g.dq_pins; ++pin) {
+      for (unsigned w = 0; w < cw_per_pin_; ++w) {
+        ++stats.codewords;
+        auto word = AssembleCodeword(row_image, pin, w);
+        const auto* er = ErasuresFor({d, pin, w});
+        const auto decode =
+            code_.Decode(std::span<Elem>(word),
+                         er ? std::span<const unsigned>(*er)
+                            : std::span<const unsigned>{});
+        switch (decode.status) {
+          case rs::DecodeStatus::kNoError:
+            break;
+          case rs::DecodeStatus::kCorrected:
+            ++stats.corrected;
+            StoreCodeword(d, bank, row, pin, w, word);
+            break;
+          case rs::DecodeStatus::kFailure:
+            ++stats.uncorrectable;
+            break;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace pair_ecc::core

@@ -1,0 +1,114 @@
+// PAIR: Pin-Aligned In-dram ecc using the expandability of Reed-Solomon
+// codes — the paper's primary contribution.
+//
+// Layout (per device, per row; defaults for an x8 BL8 die with 8 Kib rows):
+//
+//   pin line p          = row bits { i : i mod dq_pins == p }   (1024 bits)
+//   symbol (p, s)       = pin-line bits [8s, 8s+8)              (128 / pin)
+//   codeword (p, w)     = symbols  [w*k, (w+1)*k) of pin p + r check
+//                         symbols in the row's spare region      (k=64: 2 / pin)
+//
+// With BL8 a symbol is exactly one column access's worth of pin p, so:
+//
+//  * a cache-line write changes whole symbols only -> the linear RS parity
+//    is updated incrementally from the sensed old value (delta encoding),
+//    with no internal read-modify-write column cycle;
+//  * an I/O-path burst along a pin lands in adjacent symbols of ONE
+//    codeword — inside t for bursts up to 8(t-1)+1 bits;
+//  * a whole-pin fault corrupts one codeword per segment and leaves the
+//    other 8*dq_pins-ish codewords of the row clean, so the damage is
+//    contained and (being far beyond t) reliably *detected* rather than
+//    miscorrected — while conventional bit-interleaved SEC smears the same
+//    fault across every codeword as a miscorrectable multi-bit pattern.
+//
+// A read decodes, for every device and pin, the codeword covering the
+// addressed column (the rest of the codeword is available in the sense
+// amplifiers of the open row). The line's claim aggregates all
+// dq_pins * data_devices decodes; any failing decode poisons the line.
+//
+// Known-bad cells/columns can be registered per codeword position
+// (MarkSymbolErased) and are handed to the decoder as erasures, raising
+// correction power toward r per codeword — the repair-list extension.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/pair_config.hpp"
+#include "ecc/scheme.hpp"
+#include "rs/rs_code.hpp"
+
+namespace pair_ecc::core {
+
+class PairScheme final : public ecc::Scheme {
+ public:
+  PairScheme(dram::Rank& rank, const PairConfig& config);
+
+  std::string Name() const override { return config_.Name(); }
+  ecc::PerfDescriptor Perf() const override;
+
+  void WriteLine(const dram::Address& addr, const util::BitVec& line) override;
+  ecc::ReadResult ReadLine(const dram::Address& addr) override;
+
+  /// In-DRAM patrol scrub of the codewords covering `addr`: decode and
+  /// restore data AND check symbols (the delta-parity write path cannot
+  /// clear latent errors, so PAIR scrubs below the controller).
+  void ScrubLine(const dram::Address& addr) override;
+
+  /// One decode-and-restore pass over every codeword of the row.
+  void ScrubRowFull(unsigned bank, unsigned row) override { ScrubRow(bank, row); }
+
+  const PairConfig& config() const noexcept { return config_; }
+  const rs::RsCode& code() const noexcept { return code_; }
+  /// Codewords per pin per row.
+  unsigned CodewordsPerPin() const noexcept { return cw_per_pin_; }
+
+  /// Registers codeword position `position` (0..n-1; data or check symbol)
+  /// of codeword (device, pin, w) as known-bad. Subsequent decodes treat it
+  /// as an erasure. Returns false when the position was already registered.
+  bool MarkSymbolErased(unsigned device, unsigned pin, unsigned w,
+                        unsigned position);
+  void ClearErasures() { erasures_.clear(); }
+
+  /// Patrol scrub: decodes every codeword of the row and writes corrected
+  /// data + parity back, clearing accumulated transient errors.
+  struct ScrubStats {
+    unsigned codewords = 0;
+    unsigned corrected = 0;
+    unsigned uncorrectable = 0;
+  };
+  ScrubStats ScrubRow(unsigned bank, unsigned row);
+
+ private:
+  struct CodewordRef {
+    unsigned device;
+    unsigned pin;
+    unsigned w;
+    bool operator<(const CodewordRef& o) const {
+      return std::tie(device, pin, w) < std::tie(o.device, o.pin, o.w);
+    }
+  };
+
+  /// Spare-region bit offset of check symbol `j` of codeword (pin, w).
+  unsigned ParityBitOffset(unsigned pin, unsigned w, unsigned j) const;
+
+  /// Assembles codeword (device, pin, w) from the stored row image.
+  std::vector<gf::Elem> AssembleCodeword(const util::BitVec& row_image,
+                                         unsigned pin, unsigned w) const;
+
+  /// Writes corrected/updated symbols of a codeword back to the array.
+  void StoreCodeword(unsigned device, unsigned bank, unsigned row,
+                     unsigned pin, unsigned w,
+                     const std::vector<gf::Elem>& word);
+
+  const std::vector<unsigned>* ErasuresFor(const CodewordRef& ref) const;
+
+  PairConfig config_;
+  rs::RsCode code_;
+  unsigned symbols_per_pin_;      // per row
+  unsigned cw_per_pin_;           // per row
+  unsigned subsymbols_per_col_;   // burst_length / 8
+  std::map<CodewordRef, std::vector<unsigned>> erasures_;
+};
+
+}  // namespace pair_ecc::core

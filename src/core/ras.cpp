@@ -1,0 +1,49 @@
+#include "core/ras.hpp"
+
+#include <stdexcept>
+
+namespace pair_ecc::core {
+
+RasController::RasController(PairScheme& scheme, const RasPolicyConfig& config)
+    : scheme_(scheme), config_(config) {
+  if (config_.due_threshold == 0)
+    throw std::invalid_argument("RasController: due_threshold must be > 0");
+}
+
+void RasController::Write(const dram::Address& addr,
+                          const util::BitVec& line) {
+  scheme_.WriteLine(addr, line);
+}
+
+ecc::ReadResult RasController::Read(const dram::Address& addr) {
+  ecc::ReadResult result = scheme_.ReadLine(addr);
+  if (result.claim != ecc::Claim::kDetected) return result;
+
+  ++stats_.due_events;
+  unsigned& count = due_counts_[{addr.bank, addr.row}];
+  if (++count < config_.due_threshold) return result;
+  count = 0;  // threshold consumed; start a fresh window after the action
+
+  // Diagnose: defective positions become erasures where the budget allows.
+  ++stats_.diagnoses;
+  const RepairReport report = DiagnoseAndRepairRow(scheme_, addr.bank, addr.row);
+  stats_.symbols_marked += report.symbols_marked;
+
+  if (report.unrepairable_codewords == 0) {
+    // Erasure decoding is real correction: retry and serve the data.
+    return scheme_.ReadLine(addr);
+  }
+
+  if (config_.enable_sparing) {
+    const SparingReport spared = SpareRow(scheme_, addr.bank, addr.row);
+    if (spared.repaired) {
+      ++stats_.rows_spared;
+    } else {
+      ++stats_.sparing_denied;
+    }
+  }
+  // Structural damage: the triggering read stays poisoned (see header).
+  return result;
+}
+
+}  // namespace pair_ecc::core

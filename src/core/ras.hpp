@@ -1,0 +1,63 @@
+// Closed-loop RAS (reliability/availability/serviceability) policy for
+// PAIR — the automation a memory controller's RAS firmware would run on
+// top of the mechanisms in repair.hpp:
+//
+//   reads flow through the controller; every detected-uncorrectable error
+//   on a row is counted. At `due_threshold` the row is diagnosed with the
+//   complement march and defective positions join the erasure repair list;
+//   if any codeword is beyond the erasure budget (structural damage), the
+//   row is spared via post-package repair.
+//
+// Data-integrity contract: after an erasure-list repair the triggering
+// read is retried — erasure decoding is real correction, so the host gets
+// data instead of poison. After row *sparing*, the triggering read still
+// returns the original poison: the spare row's content is best-effort and
+// must be restored by the host; only subsequent accesses see the healthy
+// row. (Returning the re-read after sparing would convert a detected loss
+// into silent corruption.)
+#pragma once
+
+#include <map>
+
+#include "core/pair_scheme.hpp"
+#include "core/repair.hpp"
+
+namespace pair_ecc::core {
+
+struct RasPolicyConfig {
+  /// Detected-uncorrectable events on one row before diagnosis triggers.
+  unsigned due_threshold = 2;
+  /// Spare rows whose damage exceeds the erasure budget.
+  bool enable_sparing = true;
+};
+
+class RasController {
+ public:
+  struct Stats {
+    unsigned due_events = 0;
+    unsigned diagnoses = 0;
+    unsigned symbols_marked = 0;
+    unsigned rows_spared = 0;
+    unsigned sparing_denied = 0;  ///< PPR budget exhausted
+  };
+
+  RasController(PairScheme& scheme, const RasPolicyConfig& config = {});
+
+  /// Read with policy: may trigger diagnosis/repair and retry (see the
+  /// data-integrity contract above).
+  ecc::ReadResult Read(const dram::Address& addr);
+
+  /// Writes pass straight through (kept here so callers can route all
+  /// traffic via the controller).
+  void Write(const dram::Address& addr, const util::BitVec& line);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  PairScheme& scheme_;
+  RasPolicyConfig config_;
+  std::map<std::pair<unsigned, unsigned>, unsigned> due_counts_;
+  Stats stats_;
+};
+
+}  // namespace pair_ecc::core

@@ -1,0 +1,121 @@
+#include "core/repair.hpp"
+
+#include <map>
+#include <vector>
+
+namespace pair_ecc::core {
+
+RepairReport DiagnoseAndRepairRow(PairScheme& scheme, unsigned bank,
+                                  unsigned row) {
+  RepairReport report;
+  auto& rank = scheme.rank();
+  const auto& g = rank.geometry().device;
+  const unsigned k = scheme.code().k();
+  const unsigned r = scheme.code().r();
+  const unsigned cw_per_pin = scheme.CodewordsPerPin();
+
+  for (unsigned d = 0; d < rank.DataDevices(); ++d) {
+    auto& dev = rank.device(d);
+    const util::BitVec original = dev.ReadBits(bank, row, 0, g.TotalRowBits());
+
+    // March: write the complement, read back. A cell that cannot represent
+    // the complement of whatever it held is defective.
+    util::BitVec inverted(original.size());
+    for (unsigned i = 0; i < original.size(); ++i)
+      inverted.Set(i, !original.Get(i));
+    dev.WriteBits(bank, row, 0, inverted);
+    const util::BitVec readback = dev.ReadBits(bank, row, 0, g.TotalRowBits());
+    dev.WriteBits(bank, row, 0, original);  // restore stored state
+
+    const util::BitVec defects = readback ^ inverted;
+    if (!defects.AnySet()) continue;
+
+    // Group defective bits by codeword position.
+    struct Key {
+      unsigned pin, w;
+      bool operator<(const Key& o) const {
+        return std::tie(pin, w) < std::tie(o.pin, o.w);
+      }
+    };
+    std::map<Key, std::vector<unsigned>> per_codeword;
+    for (const auto bit : defects.SetBits()) {
+      ++report.defective_bits;
+      unsigned pin, w, position;
+      if (bit < g.row_bits) {
+        pin = static_cast<unsigned>(bit) % g.dq_pins;
+        const unsigned symbol = static_cast<unsigned>(bit) / g.dq_pins / 8;
+        w = symbol / k;
+        position = symbol % k;
+      } else {
+        // Spare region: offsets follow PairScheme's parity layout,
+        // ((pin * cw_per_pin + w) * r + j) * 8.
+        const unsigned group = (static_cast<unsigned>(bit) - g.row_bits) / 8;
+        const unsigned j = group % r;
+        const unsigned linear = group / r;
+        pin = linear / cw_per_pin;
+        w = linear % cw_per_pin;
+        position = k + j;
+      }
+      auto& list = per_codeword[{pin, w}];
+      bool seen = false;
+      for (unsigned p : list) seen |= p == position;
+      if (!seen) list.push_back(position);
+    }
+
+    for (const auto& [key, positions] : per_codeword) {
+      if (positions.size() > r) {
+        // Beyond the erasure budget: marking would only hurt (f > r always
+        // fails); leave the codeword to detection and flag it for sparing.
+        ++report.unrepairable_codewords;
+        continue;
+      }
+      for (unsigned position : positions)
+        report.symbols_marked +=
+            scheme.MarkSymbolErased(d, key.pin, key.w, position);
+    }
+  }
+  return report;
+}
+
+SparingReport SpareRow(PairScheme& scheme, unsigned bank, unsigned row) {
+  SparingReport report;
+  auto& rank = scheme.rank();
+  const auto& g = rank.geometry().device;
+
+  // The flow is all-or-nothing across the lockstep devices: check budget
+  // before touching anything.
+  for (unsigned d = 0; d < rank.DataDevices(); ++d)
+    if (rank.device(d).SpareRowsLeft(bank) == 0) return report;
+
+  // Salvage pass: capture every line as best the code can deliver it.
+  struct Saved {
+    util::BitVec data;
+    bool lost;
+  };
+  std::vector<Saved> lines;
+  lines.reserve(g.ColumnsPerRow());
+  for (unsigned col = 0; col < g.ColumnsPerRow(); ++col) {
+    auto read = scheme.ReadLine({bank, row, col});
+    const bool lost = read.claim == ecc::Claim::kDetected;
+    lines.push_back({std::move(read.data), lost});
+    if (lost) {
+      ++report.lines_lost;
+    } else {
+      ++report.lines_salvaged;
+    }
+  }
+
+  for (unsigned d = 0; d < rank.DataDevices(); ++d) {
+    const bool ok = rank.device(d).PostPackageRepair(bank, row);
+    (void)ok;  // budget was pre-checked
+  }
+
+  // Re-encode everything into the fresh row.
+  for (unsigned col = 0; col < g.ColumnsPerRow(); ++col)
+    scheme.WriteLine({bank, row, col}, lines[col].data);
+
+  report.repaired = true;
+  return report;
+}
+
+}  // namespace pair_ecc::core

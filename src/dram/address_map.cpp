@@ -1,0 +1,70 @@
+#include "dram/address_map.hpp"
+
+namespace pair_ecc::dram {
+
+namespace {
+bool IsPow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+unsigned AddressMapper::Log2(unsigned v) {
+  unsigned bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+
+AddressMapper::AddressMapper(unsigned banks, unsigned rows, unsigned cols,
+                             Interleave interleave, bool xor_bank_hash)
+    : banks_(banks),
+      rows_(rows),
+      cols_(cols),
+      interleave_(interleave),
+      xor_hash_(xor_bank_hash) {
+  if (!IsPow2(banks) || !IsPow2(rows) || !IsPow2(cols))
+    throw std::invalid_argument("AddressMapper: sizes must be powers of two");
+  bank_bits_ = Log2(banks);
+  row_bits_ = Log2(rows);
+  col_bits_ = Log2(cols);
+}
+
+Address AddressMapper::Map(std::uint64_t line_address) const {
+  if (line_address >= Capacity())
+    throw std::out_of_range("AddressMapper::Map: address beyond capacity");
+  Address a{};
+  std::uint64_t v = line_address;
+  switch (interleave_) {
+    case Interleave::kRowInterleaved:
+      a.col = static_cast<unsigned>(v & (cols_ - 1));
+      v >>= col_bits_;
+      a.bank = static_cast<unsigned>(v & (banks_ - 1));
+      v >>= bank_bits_;
+      a.row = static_cast<unsigned>(v);
+      break;
+    case Interleave::kBankInterleaved:
+      a.bank = static_cast<unsigned>(v & (banks_ - 1));
+      v >>= bank_bits_;
+      a.col = static_cast<unsigned>(v & (cols_ - 1));
+      v >>= col_bits_;
+      a.row = static_cast<unsigned>(v);
+      break;
+  }
+  if (xor_hash_) a.bank ^= a.row & (banks_ - 1);
+  return a;
+}
+
+std::uint64_t AddressMapper::Unmap(const Address& addr) const {
+  Address a = addr;
+  if (xor_hash_) a.bank ^= a.row & (banks_ - 1);  // XOR is its own inverse
+  switch (interleave_) {
+    case Interleave::kRowInterleaved:
+      return ((static_cast<std::uint64_t>(a.row) << bank_bits_ | a.bank)
+              << col_bits_) |
+             a.col;
+    case Interleave::kBankInterleaved:
+      return ((static_cast<std::uint64_t>(a.row) << col_bits_ | a.col)
+              << bank_bits_) |
+             a.bank;
+  }
+  return 0;
+}
+
+}  // namespace pair_ecc::dram

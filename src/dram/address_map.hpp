@@ -1,0 +1,52 @@
+// Physical-address to (bank, row, column) mapping, the controller-side
+// policy that decides how a linear address stream spreads over the DRAM
+// structure. Two classic interleavings plus the XOR bank hash most
+// controllers apply to break pathological bank conflicts:
+//
+//   kRowInterleaved:  [ row | bank | col ]   — consecutive lines share a
+//                     row (row-buffer friendly for streams);
+//   kBankInterleaved: [ row | col | bank ]   — consecutive lines rotate
+//                     through banks (bank-level parallelism first).
+//
+// With `xor_bank_hash`, the bank index is XOR-folded with the low row bits
+// (bank := bank ^ (row mod banks)), decorrelating strided streams whose
+// period matches the bank count.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "dram/geometry.hpp"
+
+namespace pair_ecc::dram {
+
+enum class Interleave : std::uint8_t { kRowInterleaved, kBankInterleaved };
+
+class AddressMapper {
+ public:
+  /// `banks`, `rows`, `cols` bound the address space; all must be powers
+  /// of two so the mapping is pure bit slicing.
+  AddressMapper(unsigned banks, unsigned rows, unsigned cols,
+                Interleave interleave, bool xor_bank_hash = false);
+
+  /// Total cache-line addresses covered.
+  std::uint64_t Capacity() const noexcept {
+    return static_cast<std::uint64_t>(banks_) * rows_ * cols_;
+  }
+
+  /// Maps a linear line address (must be < Capacity()) to DRAM coordinates.
+  Address Map(std::uint64_t line_address) const;
+
+  /// Inverse of Map (for diagnostics and the bijectivity tests).
+  std::uint64_t Unmap(const Address& addr) const;
+
+ private:
+  static unsigned Log2(unsigned v);
+
+  unsigned banks_, rows_, cols_;
+  unsigned bank_bits_, row_bits_, col_bits_;
+  Interleave interleave_;
+  bool xor_hash_;
+};
+
+}  // namespace pair_ecc::dram

@@ -1,0 +1,128 @@
+#include "dram/device.hpp"
+
+#include <stdexcept>
+
+namespace pair_ecc::dram {
+
+Device::Device(const DeviceGeometry& geometry) : geom_(geometry) {
+  geom_.Validate();
+  spares_used_.assign(geom_.banks, 0);
+}
+
+std::uint64_t Device::PhysicalKey(unsigned bank, unsigned row) const {
+  const std::uint64_t key = RowKey(bank, row);
+  if (remap_.empty()) return key;
+  const auto it = remap_.find(key);
+  return it == remap_.end() ? key : it->second;
+}
+
+bool Device::PostPackageRepair(unsigned bank, unsigned row) {
+  CheckAddress(bank, row);
+  if (spares_used_[bank] >= kSpareRowsPerBank) return false;
+  ++spares_used_[bank];
+  // Abandon the defective physical row entirely (its stuck cells go with it).
+  const auto old_it = rows_.find(PhysicalKey(bank, row));
+  if (old_it != rows_.end()) {
+    stuck_count_ -= old_it->second.stuck.size();
+    rows_.erase(old_it);
+  }
+  remap_[RowKey(bank, row)] = next_spare_id_++;
+  return true;
+}
+
+unsigned Device::SpareRowsLeft(unsigned bank) const {
+  if (bank >= geom_.banks)
+    throw std::out_of_range("Device::SpareRowsLeft: bank out of range");
+  return kSpareRowsPerBank - spares_used_[bank];
+}
+
+void Device::CheckAddress(unsigned bank, unsigned row) const {
+  if (bank >= geom_.banks || row >= geom_.rows_per_bank)
+    throw std::out_of_range("Device: bank/row out of range");
+}
+
+Device::RowState& Device::GetRow(unsigned bank, unsigned row) {
+  auto [it, inserted] = rows_.try_emplace(PhysicalKey(bank, row));
+  if (inserted) it->second.data = util::BitVec(geom_.TotalRowBits());
+  return it->second;
+}
+
+const Device::RowState* Device::FindRow(unsigned bank, unsigned row) const {
+  const auto it = rows_.find(PhysicalKey(bank, row));
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool Device::ReadBit(unsigned bank, unsigned row, unsigned bit) const {
+  if (bit >= geom_.TotalRowBits())
+    throw std::out_of_range("Device::ReadBit: bit out of range");
+  const RowState* state = FindRow(bank, row);
+  if (state == nullptr) return false;
+  if (!state->stuck.empty()) {
+    const auto it = state->stuck.find(bit);
+    if (it != state->stuck.end()) return it->second;
+  }
+  return state->data.Get(bit);
+}
+
+void Device::WriteBit(unsigned bank, unsigned row, unsigned bit, bool value) {
+  if (bit >= geom_.TotalRowBits())
+    throw std::out_of_range("Device::WriteBit: bit out of range");
+  GetRow(bank, row).data.Set(bit, value);
+}
+
+util::BitVec Device::ReadBits(unsigned bank, unsigned row, unsigned offset,
+                              unsigned count) const {
+  if (offset + count > geom_.TotalRowBits())
+    throw std::out_of_range("Device::ReadBits: range out of row");
+  const RowState* state = FindRow(bank, row);
+  if (state == nullptr) return util::BitVec(count);
+  util::BitVec out = state->data.Slice(offset, count);
+  for (const auto& [bit, value] : state->stuck)
+    if (bit >= offset && bit < offset + count) out.Set(bit - offset, value);
+  return out;
+}
+
+void Device::WriteBits(unsigned bank, unsigned row, unsigned offset,
+                       const util::BitVec& bits) {
+  if (offset + bits.size() > geom_.TotalRowBits())
+    throw std::out_of_range("Device::WriteBits: range out of row");
+  RowState& state = GetRow(bank, row);
+  for (unsigned i = 0; i < bits.size(); ++i)
+    state.data.Set(offset + i, bits.Get(i));
+}
+
+util::BitVec Device::ReadColumn(const Address& addr) const {
+  if (addr.col >= geom_.ColumnsPerRow())
+    throw std::out_of_range("Device::ReadColumn: column out of range");
+  return ReadBits(addr.bank, addr.row, addr.col * geom_.AccessBits(),
+                  geom_.AccessBits());
+}
+
+void Device::WriteColumn(const Address& addr, const util::BitVec& data) {
+  if (addr.col >= geom_.ColumnsPerRow())
+    throw std::out_of_range("Device::WriteColumn: column out of range");
+  if (data.size() != geom_.AccessBits())
+    throw std::invalid_argument("Device::WriteColumn: wrong data width");
+  WriteBits(addr.bank, addr.row, addr.col * geom_.AccessBits(), data);
+}
+
+void Device::InjectFlip(unsigned bank, unsigned row, unsigned bit) {
+  if (bit >= geom_.TotalRowBits())
+    throw std::out_of_range("Device::InjectFlip: bit out of range");
+  GetRow(bank, row).data.Flip(bit);
+}
+
+void Device::SetStuck(unsigned bank, unsigned row, unsigned bit, bool value) {
+  if (bit >= geom_.TotalRowBits())
+    throw std::out_of_range("Device::SetStuck: bit out of range");
+  auto [it, inserted] = GetRow(bank, row).stuck.insert_or_assign(bit, value);
+  (void)it;
+  if (inserted) ++stuck_count_;
+}
+
+void Device::ClearStuck() {
+  for (auto& [key, state] : rows_) state.stuck.clear();
+  stuck_count_ = 0;
+}
+
+}  // namespace pair_ecc::dram

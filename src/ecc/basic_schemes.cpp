@@ -1,0 +1,305 @@
+// NoECC, conventional on-die SEC ("IECC"), and the rank-level SEC-DED
+// wrapper. XED and DUO live in their own translation units; PAIR lives in
+// src/core.
+#include <stdexcept>
+
+#include "ecc/scheme.hpp"
+#include "ecc/schemes_internal.hpp"
+#include "hamming/hamming.hpp"
+
+namespace pair_ecc::ecc {
+
+void Scheme::ScrubLine(const dram::Address& addr) {
+  const ReadResult read = ReadLine(addr);
+  if (read.claim != Claim::kDetected) WriteLine(addr, read.data);
+}
+
+void Scheme::ScrubRowFull(unsigned bank, unsigned row) {
+  const unsigned cols = rank().geometry().device.ColumnsPerRow();
+  for (unsigned col = 0; col < cols; ++col) ScrubLine({bank, row, col});
+}
+
+bool Scheme::MarkDeviceErased(unsigned) { return false; }
+
+std::string ToString(Claim claim) {
+  switch (claim) {
+    case Claim::kClean:     return "clean";
+    case Claim::kCorrected: return "corrected";
+    case Claim::kDetected:  return "detected";
+  }
+  return "unknown";
+}
+
+std::string ToString(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNoEcc:       return "No-ECC";
+    case SchemeKind::kIecc:        return "IECC";
+    case SchemeKind::kSecDed:      return "SECDED";
+    case SchemeKind::kIeccSecDed:  return "IECC+SECDED";
+    case SchemeKind::kXed:         return "XED";
+    case SchemeKind::kDuo:         return "DUO";
+    case SchemeKind::kPair2:       return "PAIR-2";
+    case SchemeKind::kPair4:       return "PAIR-4";
+    case SchemeKind::kPair4SecDed: return "PAIR-4+SECDED";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// NoEcc: raw storage, always claims clean.
+// ---------------------------------------------------------------------------
+
+class NoEccScheme final : public Scheme {
+ public:
+  explicit NoEccScheme(dram::Rank& rank) : Scheme(rank) {}
+
+  std::string Name() const override { return "No-ECC"; }
+
+  PerfDescriptor Perf() const override { return {}; }
+
+  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+    rank().WriteLine(addr, line);
+  }
+
+  ReadResult ReadLine(const dram::Address& addr) override {
+    ReadResult r;
+    r.data = rank().ReadLine(addr);
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// IeccScheme: conventional on-die ECC. Each device protects every aligned
+// 128-bit internal-fetch word of a row with a (136,128) SEC Hamming code
+// whose 8 parity bits live in the row's spare region. The codeword is wider
+// than one column access (64 bits on an x8 die), so every write is a
+// partial-codeword write: the die senses the buddy half, re-encodes, and
+// rewrites parity — the internal read-modify-write that costs performance.
+// Reads decode the covering word; single-bit errors are repaired, multi-bit
+// errors either alias to a wrong single-bit syndrome (miscorrection, adding
+// a third error silently) or fall outside the position range (detected).
+// ---------------------------------------------------------------------------
+
+class IeccScheme final : public Scheme {
+ public:
+  static constexpr unsigned kWordBits = 128;
+
+  explicit IeccScheme(dram::Rank& rank)
+      : Scheme(rank), code_(hamming::HammingCode::OnDie136()) {
+    const auto& g = rank.geometry().device;
+    if (g.row_bits % kWordBits != 0)
+      throw std::invalid_argument("IECC: row must hold whole 128-bit words");
+    if (kWordBits % g.AccessBits() != 0)
+      throw std::invalid_argument("IECC: column access must divide the word");
+    const unsigned words = g.row_bits / kWordBits;
+    if (words * code_.ParityBits() > g.spare_row_bits)
+      throw std::invalid_argument("IECC: spare region too small for parity");
+  }
+
+  std::string Name() const override { return "IECC"; }
+
+  PerfDescriptor Perf() const override {
+    PerfDescriptor p;
+    // The internal RMW exists only while the write is narrower than the
+    // codeword (DDR4 x8 BL8: 64-bit writes into 128-bit words). With a
+    // BL16 access the codeword is written whole and the penalty vanishes —
+    // the DDR5 design point.
+    p.write_rmw = rank().geometry().device.AccessBits() < kWordBits;
+    p.read_decode_ns = 1.9;      // SEC syndrome + correct, on-die
+    p.write_encode_ns = 1.9;
+    p.storage_overhead = code_.Overhead();
+    return p;
+  }
+
+  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+    const auto& g = rank().geometry().device;
+    const unsigned cols_per_word = kWordBits / g.AccessBits();
+    const unsigned word = addr.col / cols_per_word;
+    const unsigned slot = addr.col % cols_per_word;
+    for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+      auto& dev = rank().device(d);
+      // Read-CORRECT-modify-write: the internal RMW runs the sensed word
+      // through the decoder before splicing — re-encoding over a stale
+      // error would launder it into a "valid" corrupted codeword.
+      util::BitVec cw(code_.n());
+      cw.Splice(0, dev.ReadBits(addr.bank, addr.row, word * kWordBits,
+                                kWordBits));
+      cw.Splice(kWordBits,
+                dev.ReadBits(addr.bank, addr.row,
+                             g.row_bits + word * code_.ParityBits(),
+                             code_.ParityBits()));
+      code_.Decode(cw);  // best effort; may itself miscorrect on multi-bit
+      util::BitVec word_bits = cw.Slice(0, kWordBits);
+      word_bits.Splice(slot * g.AccessBits(), rank().DeviceSlice(line, d));
+      const util::BitVec reenc = code_.Encode(word_bits);
+      // Restore the whole corrected word, not just the written column.
+      dev.WriteBits(addr.bank, addr.row, word * kWordBits, word_bits);
+      dev.WriteBits(addr.bank, addr.row, g.row_bits + word * code_.ParityBits(),
+                    reenc.Slice(kWordBits, code_.ParityBits()));
+    }
+  }
+
+  ReadResult ReadLine(const dram::Address& addr) override {
+    const auto& g = rank().geometry().device;
+    const unsigned cols_per_word = kWordBits / g.AccessBits();
+    const unsigned word = addr.col / cols_per_word;
+    const unsigned slot = addr.col % cols_per_word;
+
+    ReadResult result;
+    result.data = util::BitVec(rank().geometry().LineBits());
+    for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+      auto& dev = rank().device(d);
+      util::BitVec cw(code_.n());
+      cw.Splice(0, dev.ReadBits(addr.bank, addr.row, word * kWordBits, kWordBits));
+      cw.Splice(kWordBits,
+                dev.ReadBits(addr.bank, addr.row,
+                             g.row_bits + word * code_.ParityBits(),
+                             code_.ParityBits()));
+      const auto decode = code_.Decode(cw);
+      switch (decode.status) {
+        case hamming::HammingStatus::kNoError:
+          break;
+        case hamming::HammingStatus::kCorrected:
+          if (result.claim != Claim::kDetected) result.claim = Claim::kCorrected;
+          ++result.corrected_units;
+          break;
+        case hamming::HammingStatus::kDetected:
+          result.claim = Claim::kDetected;
+          break;
+      }
+      rank().SetDeviceSlice(result.data, d,
+                            cw.Slice(slot * g.AccessBits(), g.AccessBits()));
+    }
+    return result;
+  }
+
+ private:
+  hamming::HammingCode code_;
+};
+
+// ---------------------------------------------------------------------------
+// RankSecDedScheme: classic (72,64)-style SEC-DED across the rank, layered
+// over an inner scheme. Each bus beat's 64 data bits are protected by 8
+// parity bits stored in the sidecar device (the standard ECC-DIMM layout:
+// parity travels on the dedicated bus lanes, costing no extra beats).
+// ---------------------------------------------------------------------------
+
+class RankSecDedScheme final : public Scheme {
+ public:
+  RankSecDedScheme(dram::Rank& rank, std::unique_ptr<Scheme> inner)
+      : Scheme(rank),
+        inner_(std::move(inner)),
+        code_(rank.DataDevices() * rank.geometry().device.dq_pins,
+              /*extended=*/true) {
+    if (rank.EccDevices() < 1)
+      throw std::invalid_argument("SECDED: rank has no sidecar device");
+    if (code_.ParityBits() > rank.geometry().device.dq_pins)
+      throw std::invalid_argument(
+          "SECDED: parity does not fit the sidecar device's beat width");
+  }
+
+  std::string Name() const override {
+    return inner_->Name() == "No-ECC" ? "SECDED" : inner_->Name() + "+SECDED";
+  }
+
+  PerfDescriptor Perf() const override {
+    PerfDescriptor p = inner_->Perf();
+    p.read_decode_ns += 1.5;  // rank SEC-DED at the controller, pipelined
+    p.write_encode_ns += 1.0;
+    p.storage_overhead += static_cast<double>(code_.ParityBits()) /
+                          static_cast<double>(code_.k());
+    return p;
+  }
+
+  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+    inner_->WriteLine(addr, line);
+    const auto& g = rank().geometry().device;
+    util::BitVec parity_col(g.AccessBits());
+    for (unsigned beat = 0; beat < g.burst_length; ++beat) {
+      const util::BitVec data = GatherBeat(line, beat);
+      const util::BitVec cw = code_.Encode(data);
+      parity_col.Splice(beat * g.dq_pins,
+                        cw.Slice(code_.k(), code_.ParityBits()));
+    }
+    rank().device(EccDevice()).WriteColumn(addr, parity_col);
+  }
+
+  void ScrubLine(const dram::Address& addr) override {
+    // Let the inner (on-die) scheme repair its own codewords first; then a
+    // read-and-writeback through this wrapper refreshes the rank parity.
+    // After the inner scrub the stored data is clean, so the writeback's
+    // incremental updates (if any) are no-ops on the inner check symbols.
+    inner_->ScrubLine(addr);
+    Scheme::ScrubLine(addr);
+  }
+
+  ReadResult ReadLine(const dram::Address& addr) override {
+    ReadResult result = inner_->ReadLine(addr);
+    if (result.claim == Claim::kDetected) return result;  // chip-level DUE
+
+    const auto& g = rank().geometry().device;
+    const util::BitVec parity_col =
+        rank().device(EccDevice()).ReadColumn(addr);
+    for (unsigned beat = 0; beat < g.burst_length; ++beat) {
+      util::BitVec cw(code_.n());
+      cw.Splice(0, GatherBeat(result.data, beat));
+      cw.Splice(code_.k(),
+                parity_col.Slice(beat * g.dq_pins, code_.ParityBits()));
+      const auto decode = code_.Decode(cw);
+      switch (decode.status) {
+        case hamming::HammingStatus::kNoError:
+          break;
+        case hamming::HammingStatus::kCorrected:
+          if (decode.corrected_bit < code_.k())
+            result.data.Flip(LineBitOf(beat, decode.corrected_bit));
+          if (result.claim != Claim::kDetected) result.claim = Claim::kCorrected;
+          ++result.corrected_units;
+          break;
+        case hamming::HammingStatus::kDetected:
+          result.claim = Claim::kDetected;
+          break;
+      }
+    }
+    return result;
+  }
+
+ private:
+  unsigned EccDevice() const { return rank().DataDevices(); }
+
+  /// Line bit carrying (beat, i-th bus lane) under the device-major layout.
+  unsigned LineBitOf(unsigned beat, unsigned lane) const {
+    const auto& g = rank().geometry().device;
+    const unsigned device = lane / g.dq_pins;
+    const unsigned pin = lane % g.dq_pins;
+    return device * g.AccessBits() + beat * g.dq_pins + pin;
+  }
+
+  util::BitVec GatherBeat(const util::BitVec& line, unsigned beat) const {
+    util::BitVec out(code_.k());
+    for (unsigned lane = 0; lane < code_.k(); ++lane)
+      out.Set(lane, line.Get(LineBitOf(beat, lane)));
+    return out;
+  }
+
+  std::unique_ptr<Scheme> inner_;
+  hamming::HammingCode code_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheme> MakeNoEcc(dram::Rank& rank) {
+  return std::make_unique<NoEccScheme>(rank);
+}
+
+std::unique_ptr<Scheme> MakeIecc(dram::Rank& rank) {
+  return std::make_unique<IeccScheme>(rank);
+}
+
+std::unique_ptr<Scheme> MakeRankSecDed(dram::Rank& rank,
+                                       std::unique_ptr<Scheme> inner) {
+  return std::make_unique<RankSecDedScheme>(rank, std::move(inner));
+}
+
+}  // namespace pair_ecc::ecc

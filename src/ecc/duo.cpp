@@ -1,0 +1,162 @@
+// DUO (Gong et al., HPCA 2018) — "Dual Use of On-chip redundancy" —
+// modelled at functional granularity (assumption [A2] in DESIGN.md):
+//
+//  * on-die correction is disabled; the on-die spare cells are repurposed
+//    as extra check symbols of a *rank-level* Reed-Solomon code;
+//  * one RS(76,64) codeword over GF(2^8) covers the whole cache line:
+//    64 data symbols (one per device beat), 8 check symbols stored in the
+//    sidecar chip's column, and 4 check symbols packed into the data
+//    devices' spare nibbles (4 bits per device per column);
+//  * the spare-resident symbols cross the bus through a burst extension
+//    (BL8 -> BL9), which is DUO's bandwidth cost; decode happens at the
+//    memory controller (t = 6 symbol correction).
+//
+// Because the codeword equals one cache line, writes are full-codeword
+// writes: DUO pays no internal read-modify-write, only the longer burst.
+#include <stdexcept>
+
+#include "ecc/scheme.hpp"
+#include "ecc/schemes_internal.hpp"
+#include "rs/rs_code.hpp"
+
+namespace pair_ecc::ecc {
+namespace {
+
+class DuoScheme final : public Scheme {
+ public:
+  static constexpr unsigned kSymbolBits = 8;
+  static constexpr unsigned kSidecarSymbols = 8;   // parity in the ECC chip
+  static constexpr unsigned kSpareSymbols = 4;     // parity in spare nibbles
+  static constexpr unsigned kSpareBitsPerDevice = 4;
+
+  explicit DuoScheme(dram::Rank& rank)
+      : Scheme(rank),
+        code_(rs::RsCode::Gf256(
+            rank.geometry().LineBits() / kSymbolBits + kSidecarSymbols +
+                kSpareSymbols,
+            rank.geometry().LineBits() / kSymbolBits)) {
+    const auto& g = rank.geometry().device;
+    if (rank.EccDevices() < 1)
+      throw std::invalid_argument("DUO: rank has no sidecar device");
+    if (rank.geometry().LineBits() % kSymbolBits != 0)
+      throw std::invalid_argument("DUO: line not a whole number of symbols");
+    if (kSidecarSymbols * kSymbolBits != g.AccessBits())
+      throw std::invalid_argument("DUO: sidecar column must hold 8 symbols");
+    if (rank.DataDevices() * kSpareBitsPerDevice !=
+        kSpareSymbols * kSymbolBits)
+      throw std::invalid_argument("DUO: spare nibbles must pack 4 symbols");
+    if (g.ColumnsPerRow() * kSpareBitsPerDevice > g.spare_row_bits)
+      throw std::invalid_argument("DUO: spare region too small");
+  }
+
+  std::string Name() const override { return "DUO"; }
+
+  PerfDescriptor Perf() const override {
+    PerfDescriptor p;
+    p.extra_read_beats = 1;   // BL9 ships the spare-resident symbols
+    p.extra_write_beats = 1;
+    p.write_rmw = false;      // codeword == cache line
+    p.read_decode_ns = 3.6;   // RS t=6 decode at the controller
+    p.write_encode_ns = 1.5;
+    p.storage_overhead =
+        static_cast<double>(code_.r()) / static_cast<double>(code_.k());
+    return p;
+  }
+
+  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+    const auto& g = rank().geometry().device;
+    std::vector<gf::Elem> data(code_.k());
+    for (unsigned s = 0; s < code_.k(); ++s)
+      data[s] = static_cast<gf::Elem>(line.GetWord(s * kSymbolBits, kSymbolBits));
+    const auto parity = code_.ComputeParity(data);
+
+    rank().WriteLine(addr, line);
+
+    // Check symbols 0..7 -> sidecar column.
+    util::BitVec sidecar(g.AccessBits());
+    for (unsigned j = 0; j < kSidecarSymbols; ++j)
+      sidecar.SetWord(j * kSymbolBits, kSymbolBits, parity[j]);
+    rank().device(rank().DataDevices()).WriteColumn(addr, sidecar);
+
+    // Check symbols 8..11 -> one nibble per data device.
+    for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+      const unsigned sym = kSidecarSymbols + d / 2;
+      const unsigned nibble =
+          (parity[sym] >> ((d % 2) * kSpareBitsPerDevice)) & 0xF;
+      util::BitVec bits(kSpareBitsPerDevice);
+      bits.SetWord(0, kSpareBitsPerDevice, nibble);
+      rank().device(d).WriteBits(
+          addr.bank, addr.row,
+          g.row_bits + addr.col * kSpareBitsPerDevice, bits);
+    }
+  }
+
+  ReadResult ReadLine(const dram::Address& addr) override {
+    const auto& g = rank().geometry().device;
+    std::vector<gf::Elem> word(code_.n());
+
+    const util::BitVec raw = rank().ReadLine(addr);
+    for (unsigned s = 0; s < code_.k(); ++s)
+      word[s] = static_cast<gf::Elem>(raw.GetWord(s * kSymbolBits, kSymbolBits));
+
+    const util::BitVec sidecar =
+        rank().device(rank().DataDevices()).ReadColumn(addr);
+    for (unsigned j = 0; j < kSidecarSymbols; ++j)
+      word[code_.k() + j] =
+          static_cast<gf::Elem>(sidecar.GetWord(j * kSymbolBits, kSymbolBits));
+
+    for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+      const util::BitVec bits = rank().device(d).ReadBits(
+          addr.bank, addr.row, g.row_bits + addr.col * kSpareBitsPerDevice,
+          kSpareBitsPerDevice);
+      const unsigned sym = code_.k() + kSidecarSymbols + d / 2;
+      word[sym] = static_cast<gf::Elem>(
+          word[sym] |
+          (bits.GetWord(0, kSpareBitsPerDevice) << ((d % 2) * kSpareBitsPerDevice)));
+    }
+
+    ReadResult result;
+    const auto decode = code_.Decode(std::span<gf::Elem>(word), erased_devices_);
+    switch (decode.status) {
+      case rs::DecodeStatus::kNoError:
+        break;
+      case rs::DecodeStatus::kCorrected:
+        result.claim = Claim::kCorrected;
+        result.corrected_units = decode.NumCorrected();
+        break;
+      case rs::DecodeStatus::kFailure:
+        result.claim = Claim::kDetected;
+        break;
+    }
+    result.data = util::BitVec(rank().geometry().LineBits());
+    for (unsigned s = 0; s < code_.k(); ++s)
+      result.data.SetWord(s * kSymbolBits, kSymbolBits, word[s]);
+    return result;
+  }
+
+  /// Chip-kill mode: treat every symbol of `device` as an erasure (used
+  /// after a device has been diagnosed as failed). DUO's 12 check symbols
+  /// cover a full 8-symbol device erasure with budget to spare — but only
+  /// for one device; a second kill would exceed r.
+  bool MarkDeviceErased(unsigned device) override {
+    if (device >= rank().DataDevices()) return false;
+    const auto& g = rank().geometry().device;
+    const unsigned symbols_per_device = g.AccessBits() / kSymbolBits;
+    if (erased_devices_.size() + symbols_per_device > code_.r()) return false;
+    for (unsigned b = 0; b < symbols_per_device; ++b)
+      erased_devices_.push_back(device * symbols_per_device + b);
+    return true;
+  }
+
+ private:
+  rs::RsCode code_;
+  std::vector<unsigned> erased_devices_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheme> MakeDuo(dram::Rank& rank) {
+  return std::make_unique<DuoScheme>(rank);
+}
+
+}  // namespace pair_ecc::ecc

@@ -1,0 +1,129 @@
+// Common interface for every memory-protection scheme in the study.
+//
+// A scheme owns the full data path of one rank: how a cache line is encoded
+// on write (and where parity lives — on-die spare region, sidecar chip, or
+// both) and how a read is decoded. Schemes report a *claim* about each
+// read; the reliability engine compares the delivered line against ground
+// truth to classify the claim into the outcome taxonomy (a scheme that
+// claims kClean/kCorrected while delivering wrong bits is silent data
+// corruption).
+//
+// Schemes also publish a PerfDescriptor — the handful of mechanical
+// overheads (extra burst beats, internal read-modify-write, decode latency)
+// through which ECC architecture shows up in the timing simulation. The
+// descriptor is the contract between this layer and src/timing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dram/rank.hpp"
+#include "util/bitvec.hpp"
+
+namespace pair_ecc::ecc {
+
+/// What the scheme believes happened on a read.
+enum class Claim : std::uint8_t {
+  kClean,      // no error observed
+  kCorrected,  // error observed and (believed) repaired
+  kDetected,   // uncorrectable error signalled to the host
+};
+
+std::string ToString(Claim claim);
+
+struct ReadResult {
+  Claim claim = Claim::kClean;
+  /// The cache line as delivered to the host (LineBits wide). On kDetected
+  /// it is the best-effort raw data (hosts usually get poison + the bits).
+  util::BitVec data;
+  /// Diagnostic: symbols (RS) or bits (Hamming) repaired across the line.
+  unsigned corrected_units = 0;
+};
+
+/// Mechanical overheads consumed by the timing model (see src/timing).
+struct PerfDescriptor {
+  /// Bus beats beyond the base burst per read / write transfer (DUO's
+  /// redundancy shipping costs +1 beat each way).
+  unsigned extra_read_beats = 0;
+  unsigned extra_write_beats = 0;
+  /// Writes narrower than the ECC codeword force an internal
+  /// read-modify-write cycle inside the die (conventional IECC, XED).
+  bool write_rmw = false;
+  /// Added latency on the read critical path (decode), nanoseconds.
+  double read_decode_ns = 0.0;
+  /// Added latency before write data can be committed (encode), ns.
+  double write_encode_ns = 0.0;
+  /// Parity bits per data bit, for the overhead table (T3).
+  double storage_overhead = 0.0;
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  Scheme(const Scheme&) = delete;
+  Scheme& operator=(const Scheme&) = delete;
+
+  virtual std::string Name() const = 0;
+  virtual PerfDescriptor Perf() const = 0;
+
+  /// Writes one cache line (rank LineBits wide) with all encoding side
+  /// effects (parity updates, sidecar-chip writes).
+  virtual void WriteLine(const dram::Address& addr,
+                         const util::BitVec& line) = 0;
+
+  /// Reads and decodes one cache line.
+  virtual ReadResult ReadLine(const dram::Address& addr) = 0;
+
+  /// Patrol-scrubs one line: repairs whatever is repairable and restores
+  /// clean stored state for transient damage (stuck cells stay stuck).
+  /// Default: read, and write the delivered data back unless the line was
+  /// flagged uncorrectable. Schemes whose write path is incremental (PAIR's
+  /// delta parity) override this with a decode-and-restore that also
+  /// refreshes the stored check symbols — a controller-style writeback
+  /// through a delta encoder would carry the parity mismatch along instead
+  /// of clearing it.
+  virtual void ScrubLine(const dram::Address& addr);
+
+  /// Patrol-scrubs an entire row. Default: ScrubLine over every column.
+  /// PAIR overrides this with a single decode-and-restore pass over the
+  /// row's codewords (each codeword spans many columns, so per-column
+  /// scrubbing would decode each one repeatedly).
+  virtual void ScrubRowFull(unsigned bank, unsigned row);
+
+  /// Chip-kill: declares an entire device failed so the scheme treats its
+  /// contribution as erasures. Returns true if the scheme supports it with
+  /// remaining correction budget (DUO: a full device is 8 of 12 check
+  /// symbols' worth of erasures). Default: unsupported.
+  virtual bool MarkDeviceErased(unsigned device);
+
+  dram::Rank& rank() noexcept { return rank_; }
+  const dram::Rank& rank() const noexcept { return rank_; }
+
+ protected:
+  explicit Scheme(dram::Rank& rank) : rank_(rank) {}
+
+ private:
+  dram::Rank& rank_;
+};
+
+/// Every protection configuration the benchmarks compare.
+enum class SchemeKind : std::uint8_t {
+  kNoEcc,
+  kIecc,         // conventional on-die SEC (136,128)
+  kSecDed,       // rank-level SEC-DED (72,64) only
+  kIeccSecDed,   // conventional stack: on-die SEC + rank SEC-DED
+  kXed,          // exposed on-die detection + RAID-3 XOR chip
+  kDuo,          // on-die redundancy shipped to a rank-level RS(76,64)
+  kPair2,        // PAIR, RS(34,32) t=1 pin-aligned
+  kPair4,        // PAIR, RS(68,64) t=2 pin-aligned (paper default)
+  kPair4SecDed,  // PAIR + rank SEC-DED
+};
+
+std::string ToString(SchemeKind kind);
+
+/// Builds a scheme over `rank`. The rank must have the sidecar devices the
+/// scheme needs (one ECC device for SECDED/XED/DUO variants).
+std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, dram::Rank& rank);
+
+}  // namespace pair_ecc::ecc

@@ -1,0 +1,22 @@
+// Construction helpers shared between the scheme implementation files and
+// the MakeScheme factory (which lives in src/core, the top-level library,
+// because it must also construct PAIR). Not part of the public API.
+#pragma once
+
+#include <memory>
+
+#include "ecc/scheme.hpp"
+
+namespace pair_ecc::ecc {
+
+std::unique_ptr<Scheme> MakeNoEcc(dram::Rank& rank);
+std::unique_ptr<Scheme> MakeIecc(dram::Rank& rank);
+std::unique_ptr<Scheme> MakeXed(dram::Rank& rank);
+std::unique_ptr<Scheme> MakeDuo(dram::Rank& rank);
+
+/// Wraps `inner` with a rank-level SEC-DED (72,64)-style code whose parity
+/// lives in the first sidecar device.
+std::unique_ptr<Scheme> MakeRankSecDed(dram::Rank& rank,
+                                       std::unique_ptr<Scheme> inner);
+
+}  // namespace pair_ecc::ecc

@@ -1,0 +1,62 @@
+// Deterministic fault injection into a Rank's devices.
+//
+// The injector is scoped to a working set of (bank, row) pairs — the rows
+// the experiment actually reads — so that large-footprint faults (row, bank)
+// are materialised only where they can be observed. All randomness comes
+// from the caller's RNG, making every injection replayable from a seed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dram/rank.hpp"
+#include "faults/fault_model.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::faults {
+
+struct RowRef {
+  unsigned bank;
+  unsigned row;
+};
+
+class Injector {
+ public:
+  /// `working_set`: rows eligible for fault placement; must be non-empty.
+  Injector(dram::Rank& rank, std::vector<RowRef> working_set);
+
+  /// Samples a fault type from `mix`, a device uniformly, a location within
+  /// the working set, and applies it. Returns the record of what was done.
+  InjectedFault InjectFromMix(const FaultMix& mix, util::Xoshiro256& rng);
+
+  /// Applies one fault of a specific type (used by the per-class breakdown
+  /// experiment F2 and the burst sweep F3).
+  InjectedFault Inject(FaultType type, bool permanent, util::Xoshiro256& rng);
+
+  /// Pin-burst with an explicit length (beats along one pin line).
+  InjectedFault InjectPinBurst(unsigned device, unsigned length,
+                               util::Xoshiro256& rng);
+
+  const std::vector<RowRef>& working_set() const noexcept { return rows_; }
+
+ private:
+  RowRef RandomRow(util::Xoshiro256& rng) const;
+  void CorruptBit(unsigned device, const RowRef& where, unsigned bit,
+                  bool permanent, util::Xoshiro256& rng);
+  void ApplySingleBit(InjectedFault& f, util::Xoshiro256& rng);
+  void ApplySingleWord(InjectedFault& f, util::Xoshiro256& rng);
+  void ApplySinglePin(InjectedFault& f, util::Xoshiro256& rng);
+  void ApplyRowFootprint(unsigned device, const RowRef& where, bool permanent,
+                         util::Xoshiro256& rng);
+  void ApplySingleRow(InjectedFault& f, util::Xoshiro256& rng);
+  void ApplySingleBank(InjectedFault& f, util::Xoshiro256& rng);
+  void ApplyPinBurst(InjectedFault& f, util::Xoshiro256& rng);
+
+  dram::Rank& rank_;
+  std::vector<RowRef> rows_;
+};
+
+/// Samples a fault type according to the (normalised) mix weights.
+FaultType SampleType(const FaultMix& mix, util::Xoshiro256& rng);
+
+}  // namespace pair_ecc::faults

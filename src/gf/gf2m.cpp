@@ -1,0 +1,63 @@
+#include "gf/gf2m.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace pair_ecc::gf {
+
+std::uint32_t DefaultPrimitivePoly(unsigned m) {
+  switch (m) {
+    case 2:  return 0x7;      // x^2+x+1
+    case 3:  return 0xB;      // x^3+x+1
+    case 4:  return 0x13;     // x^4+x+1
+    case 5:  return 0x25;     // x^5+x^2+1
+    case 6:  return 0x43;     // x^6+x+1
+    case 7:  return 0x89;     // x^7+x^3+1
+    case 8:  return 0x11D;    // x^8+x^4+x^3+x^2+1
+    case 9:  return 0x211;    // x^9+x^4+1
+    case 10: return 0x409;    // x^10+x^3+1
+    case 11: return 0x805;    // x^11+x^2+1
+    case 12: return 0x1053;   // x^12+x^6+x^4+x+1
+    case 13: return 0x201B;   // x^13+x^4+x^3+x+1
+    case 14: return 0x4443;   // x^14+x^10+x^6+x+1
+    case 15: return 0x8003;   // x^15+x+1
+    case 16: return 0x1100B;  // x^16+x^12+x^3+x+1
+    default:
+      throw std::invalid_argument("GF(2^m): m must be in [2,16]");
+  }
+}
+
+GfField::GfField(unsigned m, std::uint32_t poly) : m_(m), poly_(poly) {
+  if (m < 2 || m > 16) throw std::invalid_argument("GF(2^m): m must be in [2,16]");
+  size_ = 1u << m;
+  antilog_.assign(size_ - 1, 0);
+  log_.assign(size_, 0);
+
+  // Enumerate alpha^i by repeated multiplication by x modulo poly.
+  std::uint32_t value = 1;
+  for (unsigned i = 0; i < size_ - 1; ++i) {
+    if (value >= size_ || (i != 0 && value == 1)) {
+      // Cycle shorter than 2^m - 1: poly is not primitive.
+      throw std::invalid_argument("GF(2^m): polynomial is not primitive");
+    }
+    antilog_[i] = static_cast<Elem>(value);
+    log_[value] = i;
+    value <<= 1;
+    if (value & size_) value ^= poly;
+  }
+  if (value != 1) throw std::invalid_argument("GF(2^m): polynomial is not primitive");
+}
+
+const GfField& GfField::Get(unsigned m) {
+  static std::mutex mu;
+  static std::map<unsigned, std::unique_ptr<GfField>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(m);
+  if (it == cache.end()) {
+    it = cache.emplace(m, std::make_unique<GfField>(m, DefaultPrimitivePoly(m)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace pair_ecc::gf

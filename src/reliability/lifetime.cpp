@@ -1,0 +1,119 @@
+#include "reliability/lifetime.hpp"
+
+#include <cmath>
+
+#include "dram/rank.hpp"
+#include "faults/injector.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::reliability {
+
+namespace {
+
+/// Poisson sample via inversion (rates here are well below 30).
+unsigned SamplePoisson(double lambda, util::Xoshiro256& rng) {
+  const double limit = std::exp(-lambda);
+  double product = rng.UniformDouble();
+  unsigned count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.UniformDouble();
+  }
+  return count;
+}
+
+}  // namespace
+
+LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials) {
+  config.geometry.Validate();
+  LifetimeStats stats;
+  util::Xoshiro256 master(config.seed);
+  const auto& g = config.geometry.device;
+
+  std::vector<faults::RowRef> rows;
+  for (unsigned i = 0; i < config.working_rows; ++i)
+    rows.push_back({i % g.banks, (i * 41 + 3) % g.rows_per_bank});
+  std::vector<unsigned> cols;
+  for (unsigned j = 0; j < config.lines_per_row; ++j)
+    cols.push_back(j * g.ColumnsPerRow() / config.lines_per_row);
+
+  double sdc_epoch_sum = 0.0;
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    util::Xoshiro256 rng = master.Fork();
+    dram::Rank rank(config.geometry);
+    auto scheme = ecc::MakeScheme(config.scheme, rank);
+
+    std::vector<std::pair<dram::Address, util::BitVec>> truth;
+    for (const auto& r : rows) {
+      for (unsigned col : cols) {
+        const dram::Address addr{r.bank, r.row, col};
+        truth.emplace_back(
+            addr, util::BitVec::Random(config.geometry.LineBits(), rng));
+        scheme->WriteLine(addr, truth.back().second);
+      }
+    }
+    faults::Injector injector(rank, rows);
+
+    bool saw_sdc = false, saw_due = false;
+    unsigned sdc_epoch = config.epochs;
+    for (unsigned epoch = 0; epoch < config.epochs && !saw_sdc; ++epoch) {
+      const unsigned arrivals = SamplePoisson(config.faults_per_epoch, rng);
+      for (unsigned f = 0; f < arrivals; ++f)
+        injector.InjectFromMix(config.mix, rng);
+
+      // Demand reads.
+      for (const auto& [addr, line] : truth) {
+        const auto read = scheme->ReadLine(addr);
+        const Outcome outcome = Classify(read.claim, read.data, line);
+        stats.total_corrections += outcome == Outcome::kCorrected;
+        if (IsSdc(outcome) && !saw_sdc) {
+          saw_sdc = true;
+          sdc_epoch = epoch;
+        }
+        saw_due |= outcome == Outcome::kDue;
+      }
+
+      // Patrol scrub walks the whole working rows: each scheme repairs
+      // what it can in place, flushing accumulated transient errors
+      // (stuck defects survive).
+      if (config.scrub_interval != 0 && !saw_sdc &&
+          (epoch + 1) % config.scrub_interval == 0) {
+        for (const auto& r : rows) {
+          scheme->ScrubRowFull(r.bank, r.row);
+          ++stats.total_scrub_writebacks;
+        }
+      }
+    }
+
+    // Horizon audit: cold data is eventually consumed too. Unwritten
+    // columns hold the all-zero line, which every scheme encodes with
+    // all-zero parity, so ground truth is well defined row-wide.
+    if (config.final_audit && !saw_sdc) {
+      const util::BitVec zero_line(config.geometry.LineBits());
+      for (const auto& r : rows) {
+        for (unsigned col = 0; col < g.ColumnsPerRow() && !saw_sdc; ++col) {
+          const dram::Address addr{r.bank, r.row, col};
+          const util::BitVec* expect = &zero_line;
+          for (const auto& [taddr, tline] : truth)
+            if (taddr == addr) expect = &tline;
+          const auto read = scheme->ReadLine(addr);
+          const Outcome outcome = Classify(read.claim, read.data, *expect);
+          if (IsSdc(outcome)) {
+            saw_sdc = true;
+            sdc_epoch = config.epochs;
+          }
+          saw_due |= outcome == Outcome::kDue;
+        }
+      }
+    }
+    ++stats.trials;
+    stats.trials_with_sdc += saw_sdc;
+    stats.trials_with_due += saw_due;
+    sdc_epoch_sum += static_cast<double>(sdc_epoch);
+  }
+  stats.mean_sdc_epoch =
+      trials ? sdc_epoch_sum / static_cast<double>(trials) : 0.0;
+  return stats;
+}
+
+}  // namespace pair_ecc::reliability

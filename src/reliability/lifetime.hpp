@@ -1,0 +1,62 @@
+// Temporal reliability: fault accumulation over a deployment window with
+// optional patrol scrubbing.
+//
+// Unlike the single-shot Monte-Carlo in monte_carlo.hpp, a lifetime trial
+// advances through epochs: each epoch a Poisson-distributed number of new
+// inherent faults lands, the working set is read (demand traffic), and —
+// every `scrub_interval` epochs — a patrol scrub rewrites every line whose
+// read decodes, clearing accumulated *transient* errors (stuck-at defects
+// survive scrubbing, as in real machines). The scrub is scheme-generic:
+// read, and if the scheme did not flag the line, write the delivered data
+// back. A trial ends at the first silent corruption or at the horizon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.hpp"
+#include "ecc/scheme.hpp"
+#include "faults/fault_model.hpp"
+#include "reliability/outcome.hpp"
+
+namespace pair_ecc::reliability {
+
+struct LifetimeConfig {
+  ecc::SchemeKind scheme = ecc::SchemeKind::kPair4;
+  dram::RankGeometry geometry;
+  faults::FaultMix mix = faults::FaultMix::Inherent();
+  unsigned epochs = 50;               ///< horizon, in epochs
+  double faults_per_epoch = 0.05;     ///< Poisson arrival rate
+  unsigned scrub_interval = 0;        ///< 0 = never scrub
+  /// Audit every column of the working rows at the horizon (models the
+  /// eventual consumption of cold data; without it, damage outside the hot
+  /// lines would go silently unmeasured).
+  bool final_audit = true;
+  unsigned working_rows = 1;
+  unsigned lines_per_row = 4;
+  std::uint64_t seed = 1;
+};
+
+struct LifetimeStats {
+  std::uint64_t trials = 0;
+  std::uint64_t trials_with_sdc = 0;  ///< silent corruption before horizon
+  std::uint64_t trials_with_due = 0;  ///< at least one detected failure
+  std::uint64_t total_corrections = 0;
+  std::uint64_t total_scrub_writebacks = 0;
+  double mean_sdc_epoch = 0.0;  ///< over failing trials; horizon if none
+
+  double SdcProbability() const noexcept {
+    return trials ? static_cast<double>(trials_with_sdc) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  double DueProbability() const noexcept {
+    return trials ? static_cast<double>(trials_with_due) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+};
+
+LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials);
+
+}  // namespace pair_ecc::reliability

@@ -1,0 +1,106 @@
+#include "reliability/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "dram/rank.hpp"
+#include "faults/injector.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::reliability {
+
+std::string ToString(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kNoError:         return "no-error";
+    case Outcome::kCorrected:       return "corrected";
+    case Outcome::kDue:             return "DUE";
+    case Outcome::kSdcMiscorrected: return "SDC(miscorrect)";
+    case Outcome::kSdcUndetected:   return "SDC(undetected)";
+  }
+  return "unknown";
+}
+
+void OutcomeCounts::Add(Outcome outcome) {
+  ++reads;
+  switch (outcome) {
+    case Outcome::kNoError:         ++no_error; break;
+    case Outcome::kCorrected:       ++corrected; break;
+    case Outcome::kDue:             ++due; break;
+    case Outcome::kSdcMiscorrected: ++sdc_miscorrected; break;
+    case Outcome::kSdcUndetected:   ++sdc_undetected; break;
+  }
+}
+
+OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials) {
+  config.geometry.Validate();
+  OutcomeCounts counts;
+  util::Xoshiro256 master(config.seed);
+  const auto& g = config.geometry.device;
+
+  // Working set: rows spread over banks and row addresses; line columns
+  // spread over the row so distinct on-die codewords are exercised.
+  std::vector<faults::RowRef> rows;
+  rows.reserve(config.working_rows);
+  for (unsigned i = 0; i < config.working_rows; ++i)
+    rows.push_back({i % g.banks, (i * 37 + 11) % g.rows_per_bank});
+  std::vector<unsigned> cols;
+  for (unsigned j = 0; j < config.lines_per_row; ++j)
+    cols.push_back(j * g.ColumnsPerRow() / config.lines_per_row);
+
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    util::Xoshiro256 rng = master.Fork();
+    dram::Rank rank(config.geometry);
+    auto scheme = ecc::MakeScheme(config.scheme, rank);
+
+    // Populate and remember ground truth.
+    std::vector<std::pair<dram::Address, util::BitVec>> truth;
+    truth.reserve(rows.size() * cols.size());
+    for (const auto& r : rows) {
+      for (unsigned col : cols) {
+        const dram::Address addr{r.bank, r.row, col};
+        truth.emplace_back(addr,
+                           util::BitVec::Random(config.geometry.LineBits(), rng));
+        scheme->WriteLine(addr, truth.back().second);
+      }
+    }
+
+    faults::Injector injector(rank, rows);
+    for (unsigned f = 0; f < config.faults_per_trial; ++f)
+      injector.InjectFromMix(config.mix, rng);
+
+    bool any_sdc = false, any_due = false;
+    for (const auto& [addr, line] : truth) {
+      const auto read = scheme->ReadLine(addr);
+      const Outcome outcome = Classify(read.claim, read.data, line);
+      counts.Add(outcome);
+      any_sdc |= IsSdc(outcome);
+      any_due |= outcome == Outcome::kDue;
+    }
+    ++counts.trials;
+    counts.trials_with_sdc += any_sdc;
+    counts.trials_with_due += any_due;
+    counts.trials_with_failure += (any_sdc || any_due);
+  }
+  return counts;
+}
+
+LifetimeEstimate CombinePoisson(std::span<const OutcomeCounts> conditional,
+                                double lambda) {
+  LifetimeEstimate est;
+  if (conditional.empty() || lambda <= 0.0) return est;
+  // P(N = n) for Poisson(lambda); the N = 0 term contributes nothing.
+  double pmf = std::exp(-lambda);  // P(0)
+  double tail = 1.0 - pmf;
+  for (std::size_t n = 1; n <= conditional.size(); ++n) {
+    pmf *= lambda / static_cast<double>(n);
+    const auto& c = conditional[n - 1];
+    const double weight =
+        n == conditional.size() ? tail : pmf;  // last bucket absorbs tail
+    est.p_sdc += weight * c.TrialSdcRate();
+    est.p_due += weight * c.TrialDueRate();
+    est.p_failure += weight * c.TrialFailureRate();
+    tail -= pmf;
+  }
+  return est;
+}
+
+}  // namespace pair_ecc::reliability

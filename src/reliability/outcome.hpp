@@ -1,0 +1,48 @@
+// Outcome taxonomy: the scheme's claim about a read, cross-checked against
+// ground truth. This is the vocabulary of every reliability figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ecc/scheme.hpp"
+#include "util/bitvec.hpp"
+
+namespace pair_ecc::reliability {
+
+enum class Outcome : std::uint8_t {
+  kNoError,          // claimed clean, data correct
+  kCorrected,        // claimed corrected, data correct
+  kDue,              // detected uncorrectable error (host sees poison)
+  kSdcMiscorrected,  // claimed corrected, data WRONG — silent corruption
+  kSdcUndetected,    // claimed clean, data WRONG — silent corruption
+};
+
+std::string ToString(Outcome outcome);
+
+inline bool IsSdc(Outcome o) noexcept {
+  return o == Outcome::kSdcMiscorrected || o == Outcome::kSdcUndetected;
+}
+
+/// Failure in the paper's "reliability" sense: the read did not deliver
+/// correct data transparently (DUE counts as a failure, silently-wrong
+/// data doubly so).
+inline bool IsFailure(Outcome o) noexcept {
+  return o == Outcome::kDue || IsSdc(o);
+}
+
+inline Outcome Classify(ecc::Claim claim, const util::BitVec& delivered,
+                        const util::BitVec& truth) {
+  switch (claim) {
+    case ecc::Claim::kDetected:
+      return Outcome::kDue;
+    case ecc::Claim::kClean:
+      return delivered == truth ? Outcome::kNoError : Outcome::kSdcUndetected;
+    case ecc::Claim::kCorrected:
+      return delivered == truth ? Outcome::kCorrected
+                                : Outcome::kSdcMiscorrected;
+  }
+  return Outcome::kSdcUndetected;
+}
+
+}  // namespace pair_ecc::reliability

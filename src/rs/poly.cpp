@@ -1,0 +1,85 @@
+#include "rs/poly.hpp"
+
+#include <stdexcept>
+
+namespace pair_ecc::rs {
+
+int Degree(const Poly& p) noexcept {
+  for (std::size_t i = p.size(); i-- > 0;)
+    if (p[i] != 0) return static_cast<int>(i);
+  return -1;
+}
+
+void Normalize(Poly& p) noexcept {
+  while (!p.empty() && p.back() == 0) p.pop_back();
+}
+
+Elem Eval(const GfField& f, const Poly& p, Elem x) noexcept {
+  Elem acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) acc = f.Add(f.Mul(acc, x), p[i]);
+  return acc;
+}
+
+Poly Add(const Poly& a, const Poly& b) {
+  Poly out(std::max(a.size(), b.size()), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] ^= b[i];
+  Normalize(out);
+  return out;
+}
+
+Poly Mul(const GfField& f, const Poly& a, const Poly& b) {
+  if (Degree(a) < 0 || Degree(b) < 0) return {};
+  Poly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j)
+      out[i + j] ^= f.Mul(a[i], b[j]);
+  }
+  Normalize(out);
+  return out;
+}
+
+Poly Scale(const GfField& f, const Poly& p, Elem c) {
+  Poly out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) out[i] = f.Mul(p[i], c);
+  Normalize(out);
+  return out;
+}
+
+Poly ShiftUp(const Poly& p, unsigned k) {
+  if (Degree(p) < 0) return {};
+  Poly out(p.size() + k, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) out[i + k] = p[i];
+  return out;
+}
+
+Poly Mod(const GfField& f, const Poly& a, const Poly& b) {
+  const int db = Degree(b);
+  if (db < 0) throw std::domain_error("poly mod by zero");
+  Poly r = a;
+  Normalize(r);
+  const Elem lead_inv = f.Inv(b[static_cast<std::size_t>(db)]);
+  while (Degree(r) >= db) {
+    const auto dr = static_cast<std::size_t>(Degree(r));
+    const Elem q = f.Mul(r[dr], lead_inv);
+    const std::size_t shift = dr - static_cast<std::size_t>(db);
+    for (std::size_t i = 0; i <= static_cast<std::size_t>(db); ++i)
+      r[i + shift] ^= f.Mul(q, b[i]);
+    Normalize(r);
+  }
+  return r;
+}
+
+Poly Derivative(const Poly& p) {
+  Poly out;
+  if (p.size() <= 1) return out;
+  out.assign(p.size() - 1, 0);
+  // d/dx x^i = i * x^(i-1); in GF(2^m) the integer factor i reduces mod 2,
+  // so only odd i survive.
+  for (std::size_t i = 1; i < p.size(); i += 2) out[i - 1] = p[i];
+  Normalize(out);
+  return out;
+}
+
+}  // namespace pair_ecc::rs

@@ -1,0 +1,225 @@
+#include "rs/rs_code.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pair_ecc::rs {
+
+RsCode::RsCode(const GfField& field, unsigned n, unsigned k)
+    : field_(field), n_(n), k_(k) {
+  if (k < 1 || n <= k)
+    throw std::invalid_argument("RsCode: need 1 <= k < n");
+  if (n > field.Order())
+    throw std::invalid_argument("RsCode: n exceeds 2^m - 1");
+
+  // g(x) = prod_{i=1..r} (x - alpha^i), narrow-sense.
+  generator_ = {1};
+  for (unsigned i = 1; i <= r(); ++i) {
+    const Poly factor = {field_.AlphaPow(i), 1};  // alpha^i + x
+    generator_ = Mul(field_, generator_, factor);
+  }
+
+  // Parity footprint of each data symbol: x^(n-1-i) mod g(x).
+  monomial_rem_.reserve(k_);
+  // Computed iteratively: rem(x^(r)) first, then multiply by x and reduce.
+  // Data index k-1 is degree r, index 0 is degree n-1.
+  std::vector<Poly> by_degree(k_);
+  Poly cur(r() + 1, 0);
+  cur.back() = 1;  // x^r
+  cur = Mod(field_, cur, generator_);
+  by_degree[k_ - 1] = cur;
+  for (unsigned d = 1; d < k_; ++d) {
+    cur = ShiftUp(cur, 1);
+    cur = Mod(field_, cur, generator_);
+    by_degree[k_ - 1 - d] = cur;
+  }
+  for (auto& p : by_degree) p.resize(r(), 0);
+  monomial_rem_ = std::move(by_degree);
+}
+
+std::vector<Elem> RsCode::ComputeParity(std::span<const Elem> data) const {
+  if (data.size() != k_)
+    throw std::invalid_argument("RsCode::ComputeParity: wrong data length");
+  // parity(x) = (data(x) * x^r) mod g(x). Accumulate via the precomputed
+  // monomial remainders: linear in the number of nonzero data symbols.
+  Poly rem(r(), 0);
+  for (unsigned i = 0; i < k_; ++i) {
+    const Elem d = data[i];
+    if (d == 0) continue;
+    const Poly& foot = monomial_rem_[i];
+    for (unsigned j = 0; j < r(); ++j) rem[j] ^= field_.Mul(d, foot[j]);
+  }
+  // Codeword index k + j holds the coefficient of x^(r-1-j).
+  std::vector<Elem> parity(r());
+  for (unsigned j = 0; j < r(); ++j) parity[j] = rem[r() - 1 - j];
+  return parity;
+}
+
+std::vector<Elem> RsCode::Encode(std::span<const Elem> data) const {
+  auto parity = ComputeParity(data);
+  std::vector<Elem> cw(n_);
+  std::copy(data.begin(), data.end(), cw.begin());
+  std::copy(parity.begin(), parity.end(), cw.begin() + k_);
+  return cw;
+}
+
+std::vector<Elem> RsCode::ParityDelta(unsigned data_index, Elem delta) const {
+  if (data_index >= k_)
+    throw std::invalid_argument("RsCode::ParityDelta: index out of range");
+  std::vector<Elem> out(r(), 0);
+  if (delta == 0) return out;
+  const Poly& foot = monomial_rem_[data_index];
+  for (unsigned j = 0; j < r(); ++j)
+    out[j] = field_.Mul(delta, foot[r() - 1 - j]);
+  return out;
+}
+
+std::vector<Elem> RsCode::Syndromes(std::span<const Elem> word) const {
+  assert(word.size() == n_);
+  // S_j = c(alpha^(j+1)); with codeword index i at degree n-1-i, evaluate by
+  // Horner over the word as written (highest degree first).
+  std::vector<Elem> syn(r());
+  for (unsigned j = 0; j < r(); ++j) {
+    const Elem a = field_.AlphaPow(j + 1);
+    Elem acc = 0;
+    for (unsigned i = 0; i < n_; ++i) acc = field_.Add(field_.Mul(acc, a), word[i]);
+    syn[j] = acc;
+  }
+  return syn;
+}
+
+bool RsCode::IsCodeword(std::span<const Elem> word) const {
+  if (word.size() != n_) return false;
+  const auto syn = Syndromes(word);
+  return std::all_of(syn.begin(), syn.end(), [](Elem s) { return s == 0; });
+}
+
+DecodeResult RsCode::Decode(std::span<Elem> word,
+                            std::span<const unsigned> erasures) const {
+  if (word.size() != n_)
+    throw std::invalid_argument("RsCode::Decode: wrong word length");
+  for (unsigned e : erasures)
+    if (e >= n_) throw std::invalid_argument("RsCode::Decode: bad erasure index");
+
+  for (std::size_t i = 0; i < erasures.size(); ++i)
+    for (std::size_t j = i + 1; j < erasures.size(); ++j)
+      if (erasures[i] == erasures[j])
+        throw std::invalid_argument("RsCode::Decode: duplicate erasure index");
+
+  DecodeResult result;
+  const auto syn = Syndromes(word);
+  const bool syn_zero =
+      std::all_of(syn.begin(), syn.end(), [](Elem s) { return s == 0; });
+  if (syn_zero && erasures.empty()) {
+    result.status = DecodeStatus::kNoError;
+    return result;
+  }
+
+  // Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^(n-1-pos).
+  Poly gamma = {1};
+  for (unsigned pos : erasures) {
+    const Elem x_i = field_.AlphaPow(n_ - 1 - pos);
+    gamma = Mul(field_, gamma, Poly{1, x_i});
+  }
+  const unsigned f = static_cast<unsigned>(erasures.size());
+  if (f > r()) {
+    result.status = DecodeStatus::kFailure;
+    return result;
+  }
+  if (syn_zero) {
+    // Erasures flagged but the word is already a codeword: nothing to fix.
+    result.status = DecodeStatus::kNoError;
+    return result;
+  }
+
+  // Berlekamp-Massey seeded with the erasure locator.
+  Poly lambda = gamma;
+  Poly b_poly = gamma;
+  unsigned big_l = f;
+  unsigned m_gap = 1;
+  Elem b_disc = 1;
+  for (unsigned iter = f; iter < r(); ++iter) {
+    Elem delta = 0;
+    for (unsigned i = 0; i < lambda.size() && i <= iter; ++i)
+      delta ^= field_.Mul(lambda[i], syn[iter - i]);
+    if (delta == 0) {
+      ++m_gap;
+      continue;
+    }
+    const Poly adj = ShiftUp(Scale(field_, b_poly, field_.Div(delta, b_disc)), m_gap);
+    if (2 * big_l <= iter + f) {
+      const Poly prev = lambda;
+      lambda = Add(lambda, adj);
+      big_l = iter + f + 1 - big_l;
+      b_poly = prev;
+      b_disc = delta;
+      m_gap = 1;
+    } else {
+      lambda = Add(lambda, adj);
+      ++m_gap;
+    }
+  }
+
+  const int deg_lambda = Degree(lambda);
+  if (deg_lambda <= 0 || static_cast<unsigned>(deg_lambda) != big_l ||
+      big_l > r()) {
+    result.status = DecodeStatus::kFailure;
+    return result;
+  }
+
+  // Chien search restricted to the shortened code's valid positions. Roots
+  // falling in the shortened-away region surface as a count mismatch below,
+  // which is a genuine detection (the pattern is outside this code).
+  std::vector<unsigned> err_pos;
+  std::vector<Elem> err_xinv;
+  for (unsigned pos = 0; pos < n_; ++pos) {
+    const unsigned e = n_ - 1 - pos;  // degree exponent of this position
+    const Elem x_inv =
+        e == 0 ? Elem{1} : field_.AlphaPow(field_.Order() - e);
+    if (Eval(field_, lambda, x_inv) == 0) {
+      err_pos.push_back(pos);
+      err_xinv.push_back(x_inv);
+    }
+  }
+  if (err_pos.size() != static_cast<std::size_t>(deg_lambda)) {
+    result.status = DecodeStatus::kFailure;
+    return result;
+  }
+
+  // Forney: Omega(x) = S(x) * Lambda(x) mod x^r; Y_i = Omega(Xinv)/Lambda'(Xinv).
+  Poly s_poly(syn.begin(), syn.end());
+  Normalize(s_poly);
+  Poly omega = Mul(field_, s_poly, lambda);
+  if (omega.size() > r()) omega.resize(r());
+  Normalize(omega);
+  const Poly lambda_prime = Derivative(lambda);
+
+  std::vector<Correction> corrections;
+  corrections.reserve(err_pos.size());
+  for (std::size_t i = 0; i < err_pos.size(); ++i) {
+    const Elem denom = Eval(field_, lambda_prime, err_xinv[i]);
+    if (denom == 0) {
+      result.status = DecodeStatus::kFailure;
+      return result;
+    }
+    const Elem magnitude = field_.Div(Eval(field_, omega, err_xinv[i]), denom);
+    if (magnitude != 0)
+      corrections.push_back({err_pos[i], magnitude});
+  }
+
+  // Apply and re-verify; a non-codeword after "correction" means the decoder
+  // was fooled by a heavy pattern — report it as detected, not corrected.
+  for (const auto& c : corrections) word[c.position] ^= c.magnitude;
+  if (!IsCodeword(word)) {
+    for (const auto& c : corrections) word[c.position] ^= c.magnitude;
+    result.status = DecodeStatus::kFailure;
+    return result;
+  }
+
+  result.status = DecodeStatus::kCorrected;
+  result.corrections = std::move(corrections);
+  return result;
+}
+
+}  // namespace pair_ecc::rs

@@ -1,0 +1,118 @@
+// Systematic Reed-Solomon codec over GF(2^m) with:
+//
+//  * shortening: any (n, k) with n <= 2^m - 1 shares the generator of the
+//    primitive mother code, so one decoder services every length;
+//  * expandability: the property PAIR exploits — a t-symbol-correcting code
+//    keeps its 2t check symbols while the data span k grows (up to
+//    2^m - 1 - 2t). `Expanded()` returns the longer sibling code;
+//  * errors-and-erasures decoding (Berlekamp-Massey + Chien + Forney),
+//    correcting e errors and f erasures whenever 2e + f <= n - k;
+//  * incremental ("delta") parity update: when one data symbol changes,
+//    the new parity is old parity XOR a precomputed monomial remainder
+//    scaled by the symbol delta. This is the mechanism behind PAIR's
+//    RMW-free write path (the whole write burst on a pin is one symbol).
+//
+// Conventions: codeword index 0 is the highest-degree coefficient; data
+// occupies indices [0, k), parity [k, n). Narrow-sense code (first
+// consecutive root alpha^1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/gf2m.hpp"
+#include "rs/poly.hpp"
+
+namespace pair_ecc::rs {
+
+/// Outcome of a decode attempt.
+enum class DecodeStatus : std::uint8_t {
+  kNoError,   // syndromes were all zero; word returned untouched
+  kCorrected, // errors/erasures located and repaired; word now a codeword
+  kFailure,   // uncorrectable pattern detected; word left as received
+};
+
+struct Correction {
+  unsigned position;  // codeword index
+  Elem magnitude;     // value XOR-ed into that symbol
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNoError;
+  std::vector<Correction> corrections;  // empty unless kCorrected
+
+  bool ok() const noexcept { return status != DecodeStatus::kFailure; }
+  unsigned NumCorrected() const noexcept {
+    return static_cast<unsigned>(corrections.size());
+  }
+};
+
+class RsCode {
+ public:
+  /// Builds an (n, k) shortened RS code over `field`. Requires
+  /// k >= 1, n > k, and n <= 2^m - 1. Throws std::invalid_argument otherwise.
+  RsCode(const GfField& field, unsigned n, unsigned k);
+
+  /// Convenience: code over GF(2^8) (the PAIR symbol size).
+  static RsCode Gf256(unsigned n, unsigned k) {
+    return RsCode(GfField::Get(8), n, k);
+  }
+
+  const GfField& field() const noexcept { return field_; }
+  unsigned n() const noexcept { return n_; }
+  unsigned k() const noexcept { return k_; }
+  /// Number of check symbols, n - k.
+  unsigned r() const noexcept { return n_ - k_; }
+  /// Guaranteed error-correction power in symbols, floor(r / 2).
+  unsigned t() const noexcept { return (n_ - k_) / 2; }
+  /// Largest k reachable by expansion at this redundancy.
+  unsigned MaxK() const noexcept { return field_.Order() - r(); }
+  /// Storage overhead r / k.
+  double Overhead() const noexcept {
+    return static_cast<double>(r()) / static_cast<double>(k_);
+  }
+
+  /// The sibling code with the same check-symbol count but `new_k` data
+  /// symbols — RS "expandability". new_k must be in [1, MaxK()].
+  RsCode Expanded(unsigned new_k) const { return RsCode(field_, new_k + r(), new_k); }
+
+  /// Systematic encode: returns the n-symbol codeword [data | parity].
+  std::vector<Elem> Encode(std::span<const Elem> data) const;
+
+  /// Computes just the r parity symbols for `data`.
+  std::vector<Elem> ComputeParity(std::span<const Elem> data) const;
+
+  /// Parity contribution of setting data symbol `data_index` to value
+  /// `delta` relative to its previous value (delta = old XOR new). XOR the
+  /// result into the stored parity to re-encode without touching the other
+  /// k-1 data symbols. O(r) per changed symbol.
+  std::vector<Elem> ParityDelta(unsigned data_index, Elem delta) const;
+
+  /// True iff `word` (n symbols) is a codeword (all syndromes zero).
+  bool IsCodeword(std::span<const Elem> word) const;
+
+  /// Decodes in place. `erasures` lists codeword indices flagged as unreliable
+  /// (e.g. a DQ pin known bad); duplicates/out-of-range entries are invalid.
+  /// Corrects when 2*errors + erasures <= r, otherwise reports kFailure and
+  /// leaves `word` unmodified. A successful correction is re-verified against
+  /// the syndromes; verification failure downgrades to kFailure.
+  DecodeResult Decode(std::span<Elem> word,
+                      std::span<const unsigned> erasures = {}) const;
+
+  /// Generator polynomial (ascending degree), degree r.
+  const Poly& Generator() const noexcept { return generator_; }
+
+ private:
+  std::vector<Elem> Syndromes(std::span<const Elem> word) const;
+
+  const GfField& field_;
+  unsigned n_;
+  unsigned k_;
+  Poly generator_;
+  // monomial_rem_[i] = x^(n-1-i) mod g(x), the parity footprint of data
+  // symbol i; kept as r coefficients (ascending degree).
+  std::vector<Poly> monomial_rem_;
+};
+
+}  // namespace pair_ecc::rs

@@ -1,0 +1,307 @@
+#include "timing/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pair_ecc::timing {
+
+Controller::Controller(const TimingParams& params, const SchemeTiming& scheme,
+                       unsigned window, PagePolicy policy)
+    : params_(params),
+      scheme_(scheme),
+      window_(window == 0 ? 1 : window),
+      policy_(policy),
+      checker_(params) {
+  params_.Validate();
+  ranks_.resize(params_.ranks);
+  for (unsigned r = 0; r < params_.ranks; ++r) {
+    ranks_[r].banks.resize(params_.banks);
+    ranks_[r].ready_act_group.assign(params_.bank_groups, 0);
+    ranks_[r].ready_cas_group.assign(params_.bank_groups, 0);
+    // Stagger per-rank refresh across the window.
+    ranks_[r].next_refresh =
+        params_.tREFI + r * (params_.tREFI / params_.ranks);
+  }
+}
+
+std::uint64_t Controller::BusReadyFor(unsigned rank) const {
+  if (has_burst_ && last_burst_rank_ != rank)
+    return bus_free_ + params_.tCS;
+  return bus_free_;
+}
+
+bool Controller::CanIssueCas(const Request& req, std::uint64_t cycle) const {
+  const RankState& rk = ranks_[req.rank];
+  const BankState& b = rk.banks[req.addr.bank];
+  if (!b.open || b.row != req.addr.row) return false;
+  if (cycle < b.ready_cas) return false;
+  const unsigned group = GroupOf(req.addr.bank);
+  if (cycle < rk.ready_cas_group[group]) return false;
+  if (req.op == Op::kRead) {
+    if (cycle < rk.ready_read_cmd) return false;  // tWTR, same rank
+    const std::uint64_t data_start = cycle + params_.tCL;
+    return data_start >= BusReadyFor(req.rank);
+  }
+  const std::uint64_t data_start =
+      cycle + params_.tCWL + scheme_.write_encode;
+  if (data_start < BusReadyFor(req.rank)) return false;
+  // Bus turnaround bubble after a read burst (any rank).
+  return data_start >= last_rd_data_end_ + params_.tRTW_gap;
+}
+
+void Controller::IssueCas(Request& req, std::uint64_t cycle) {
+  RankState& rk = ranks_[req.rank];
+  BankState& b = rk.banks[req.addr.bank];
+  const unsigned group = GroupOf(req.addr.bank);
+  if (req.op == Op::kRead) {
+    const std::uint64_t data_start = cycle + params_.tCL;
+    const std::uint64_t data_end = data_start + scheme_.read_burst;
+    checker_.OnCommand(Cmd::kRead, req.rank, req.addr.bank, req.addr.row,
+                       cycle, data_start, data_end);
+    bus_free_ = data_end;
+    last_rd_data_end_ = data_end;
+    busy_bus_cycles_ += scheme_.read_burst;
+    b.ready_pre = std::max(b.ready_pre, cycle + params_.tRTP);
+    req.complete = data_end + scheme_.read_decode;
+  } else {
+    const std::uint64_t data_start =
+        cycle + params_.tCWL + scheme_.write_encode;
+    const std::uint64_t data_end = data_start + scheme_.write_burst;
+    checker_.OnCommand(Cmd::kWrite, req.rank, req.addr.bank, req.addr.row,
+                       cycle, data_start, data_end);
+    bus_free_ = data_end;
+    busy_bus_cycles_ += scheme_.write_burst;
+    // Write recovery, extended by the internal RMW cycle when the scheme's
+    // codeword is wider than the write.
+    b.ready_pre =
+        std::max(b.ready_pre, data_end + params_.tWR + scheme_.rmw_penalty);
+    // The die is internally busy with the RMW: hold off further CAS to this
+    // bank for the extra column cycle.
+    b.ready_cas = std::max(b.ready_cas, cycle + scheme_.rmw_penalty);
+    rk.ready_read_cmd = std::max(rk.ready_read_cmd, data_end + params_.tWTR);
+    req.complete = data_end;
+  }
+  for (unsigned g = 0; g < params_.bank_groups; ++g) {
+    const unsigned ccd = g == group ? params_.tCCD_L : params_.tCCD_S;
+    rk.ready_cas_group[g] = std::max(rk.ready_cas_group[g], cycle + ccd);
+  }
+  b.had_cas = true;
+  last_burst_rank_ = req.rank;
+  has_burst_ = true;
+  req.issue = cycle;
+}
+
+bool Controller::CanAct(unsigned rank, unsigned bank,
+                        std::uint64_t cycle) const {
+  const RankState& rk = ranks_[rank];
+  const BankState& b = rk.banks[bank];
+  if (b.open) return false;
+  if (cycle < b.ready_act) return false;
+  if (cycle < rk.ready_act_group[GroupOf(bank)] || cycle < rk.ready_act_any)
+    return false;
+  if (rk.act_history.size() >= 4 &&
+      cycle < rk.act_history[rk.act_history.size() - 4] + params_.tFAW)
+    return false;
+  return true;
+}
+
+void Controller::IssueAct(unsigned rank, unsigned bank, unsigned row,
+                          std::uint64_t cycle) {
+  checker_.OnCommand(Cmd::kAct, rank, bank, row, cycle);
+  RankState& rk = ranks_[rank];
+  BankState& b = rk.banks[bank];
+  b.open = true;
+  b.row = row;
+  b.had_cas = false;
+  b.ready_cas = cycle + params_.tRCD;
+  b.ready_pre = std::max(b.ready_pre, cycle + params_.tRAS);
+  b.ready_act = cycle + params_.tRC;
+  rk.ready_act_group[GroupOf(bank)] = cycle + params_.tRRD_L;
+  rk.ready_act_any = std::max(rk.ready_act_any, cycle + params_.tRRD_S);
+  rk.act_history.push_back(cycle);
+  if (rk.act_history.size() > 8) rk.act_history.pop_front();
+}
+
+bool Controller::CanPre(unsigned rank, unsigned bank,
+                        std::uint64_t cycle) const {
+  const BankState& b = ranks_[rank].banks[bank];
+  return b.open && cycle >= b.ready_pre;
+}
+
+void Controller::IssuePre(unsigned rank, unsigned bank, std::uint64_t cycle) {
+  BankState& b = ranks_[rank].banks[bank];
+  checker_.OnCommand(Cmd::kPre, rank, bank, b.row, cycle);
+  b.open = false;
+  b.had_cas = false;
+  b.ready_act = std::max(b.ready_act, cycle + params_.tRP);
+}
+
+SimStats Controller::Run(Trace& trace) {
+  for (const auto& req : trace)
+    if (req.rank >= params_.ranks)
+      throw std::invalid_argument("Controller::Run: request rank out of range");
+
+  SimStats stats;
+  std::deque<Request*> queue;
+  std::size_t next_arrival = 0;
+  std::uint64_t cycle = 0;
+  std::vector<std::uint64_t> read_latencies;
+  read_latencies.reserve(trace.size());
+
+  // Classify locality on first sight of each request (for row-hit stats).
+  auto classify = [&](const Request& req) {
+    const BankState& b = ranks_[req.rank].banks[req.addr.bank];
+    if (b.open && b.row == req.addr.row) {
+      ++stats.row_hits;
+    } else if (!b.open) {
+      ++stats.row_misses;
+    } else {
+      ++stats.row_conflicts;
+    }
+  };
+
+  auto earliest_refresh = [&]() {
+    std::uint64_t t = ~std::uint64_t{0};
+    for (const auto& rk : ranks_) t = std::min(t, rk.next_refresh);
+    return t;
+  };
+
+  while (next_arrival < trace.size() || !queue.empty()) {
+    // Admit arrivals.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival <= cycle) {
+      classify(trace[next_arrival]);
+      queue.push_back(&trace[next_arrival]);
+      ++next_arrival;
+    }
+    if (queue.empty() && (!params_.enable_refresh ||
+                          trace[next_arrival].arrival < earliest_refresh())) {
+      cycle = trace[next_arrival].arrival;  // skip idle gap
+      continue;
+    }
+
+    // Refresh has priority: once a rank's REF falls due, drain its open
+    // rows and issue the all-bank REF before any further traffic to it.
+    if (params_.enable_refresh) {
+      bool refresh_work = false;
+      for (unsigned r = 0; r < params_.ranks && !refresh_work; ++r) {
+        RankState& rk = ranks_[r];
+        if (cycle < rk.next_refresh) continue;
+        refresh_work = true;
+        bool all_closed = true;
+        bool issued_pre = false;
+        for (unsigned b = 0; b < params_.banks && !issued_pre; ++b) {
+          if (!rk.banks[b].open) continue;
+          all_closed = false;
+          if (CanPre(r, b, cycle)) {
+            IssuePre(r, b, cycle);
+            issued_pre = true;
+          }
+        }
+        if (all_closed) {
+          checker_.OnCommand(Cmd::kRef, r, 0, 0, cycle);
+          for (auto& b : rk.banks)
+            b.ready_act = std::max(b.ready_act, cycle + params_.tRFC);
+          rk.next_refresh += params_.tREFI;
+          ++stats.refreshes;
+        }
+      }
+      if (refresh_work) {
+        ++cycle;
+        continue;
+      }
+    }
+
+    if (queue.empty()) {
+      // Only a pending refresh is keeping us here; jump to it.
+      cycle = std::max(cycle + 1, earliest_refresh());
+      continue;
+    }
+
+    const std::size_t window = std::min<std::size_t>(window_, queue.size());
+    bool issued = false;
+
+    // FR-FCFS pass 1: oldest row-hit CAS that can issue now.
+    for (std::size_t i = 0; i < window && !issued; ++i) {
+      Request* req = queue[i];
+      if (CanIssueCas(*req, cycle)) {
+        IssueCas(*req, cycle);
+        if (req->op == Op::kRead) {
+          ++stats.reads;
+          read_latencies.push_back(req->Latency());
+        } else {
+          ++stats.writes;
+        }
+        stats.cycles = std::max(stats.cycles, req->complete);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+        issued = true;
+      }
+    }
+
+    // Pass 2: open the row for the oldest request whose bank is closed.
+    for (std::size_t i = 0; i < window && !issued; ++i) {
+      const Request* req = queue[i];
+      const BankState& b = ranks_[req->rank].banks[req->addr.bank];
+      if (!b.open && CanAct(req->rank, req->addr.bank, cycle)) {
+        IssueAct(req->rank, req->addr.bank, req->addr.row, cycle);
+        issued = true;
+      }
+    }
+
+    // Pass 3: close a conflicting row — but never while some queued request
+    // in the window still hits it (classic FR-FCFS row-hit preference).
+    for (std::size_t i = 0; i < window && !issued; ++i) {
+      const Request* req = queue[i];
+      const BankState& b = ranks_[req->rank].banks[req->addr.bank];
+      if (!b.open || b.row == req->addr.row) continue;
+      bool someone_hits = false;
+      for (std::size_t j = 0; j < window && !someone_hits; ++j)
+        someone_hits = queue[j]->rank == req->rank &&
+                       queue[j]->addr.bank == req->addr.bank &&
+                       queue[j]->addr.row == b.row;
+      if (!someone_hits && CanPre(req->rank, req->addr.bank, cycle)) {
+        IssuePre(req->rank, req->addr.bank, cycle);
+        issued = true;
+      }
+    }
+
+    // Pass 4 (closed-page policy): speculatively precharge any serviced
+    // bank whose open row has no remaining hit in the window.
+    if (policy_ == PagePolicy::kClosed) {
+      for (unsigned r = 0; r < params_.ranks && !issued; ++r) {
+        for (unsigned b = 0; b < params_.banks && !issued; ++b) {
+          const BankState& state = ranks_[r].banks[b];
+          if (!state.open || !state.had_cas) continue;
+          bool someone_hits = false;
+          for (std::size_t j = 0; j < window && !someone_hits; ++j)
+            someone_hits = queue[j]->rank == r && queue[j]->addr.bank == b &&
+                           queue[j]->addr.row == state.row;
+          if (!someone_hits && CanPre(r, b, cycle)) {
+            IssuePre(r, b, cycle);
+            issued = true;
+          }
+        }
+      }
+    }
+
+    ++cycle;
+  }
+
+  if (!read_latencies.empty()) {
+    std::uint64_t sum = 0;
+    for (auto l : read_latencies) sum += l;
+    stats.avg_read_latency = static_cast<double>(sum) /
+                             static_cast<double>(read_latencies.size());
+    std::sort(read_latencies.begin(), read_latencies.end());
+    const std::size_t p99 =
+        std::min(read_latencies.size() - 1, read_latencies.size() * 99 / 100);
+    stats.p99_read_latency = static_cast<double>(read_latencies[p99]);
+  }
+  stats.bus_utilization =
+      stats.cycles == 0 ? 0.0
+                        : static_cast<double>(busy_bus_cycles_) /
+                              static_cast<double>(stats.cycles);
+  return stats;
+}
+
+}  // namespace pair_ecc::timing

@@ -1,0 +1,112 @@
+// Cycle-approximate memory-channel controller with FR-FCFS scheduling,
+// open- or closed-page row management, auto-refresh, and one or more ranks
+// sharing the command/data bus.
+//
+// The simulator issues at most one command per cycle (shared command bus)
+// and models per-rank bank timing, the four-activate window, CAS-to-CAS,
+// bus-turnaround and rank-switch constraints, and the per-scheme overheads
+// from SchemeTiming: longer data bursts (DUO), internal read-modify-write
+// bank occupancy on writes (conventional IECC, XED, PAIR's rmw ablation),
+// and decode/encode latencies. Every command is mirrored into a
+// ProtocolChecker so scheduling bugs surface as test failures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "timing/protocol_checker.hpp"
+#include "timing/request.hpp"
+#include "timing/timing_params.hpp"
+
+namespace pair_ecc::timing {
+
+struct SimStats {
+  std::uint64_t cycles = 0;      ///< cycle the last request completed
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double avg_read_latency = 0.0; ///< cycles, arrival -> data+decode
+  double p99_read_latency = 0.0;
+  double bus_utilization = 0.0;  ///< busy data-bus cycles / total cycles
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;   ///< bank closed, ACT needed
+  std::uint64_t row_conflicts = 0;///< wrong row open, PRE+ACT needed
+  std::uint64_t refreshes = 0;    ///< all-bank REF commands issued
+
+  /// Data bandwidth in bytes per cycle (64-byte lines).
+  double BytesPerCycle() const {
+    return cycles == 0
+               ? 0.0
+               : 64.0 * static_cast<double>(reads + writes) /
+                     static_cast<double>(cycles);
+  }
+};
+
+/// Row-buffer management policy.
+enum class PagePolicy : std::uint8_t {
+  kOpen,    ///< leave rows open, bet on locality (default)
+  kClosed,  ///< precharge as soon as no queued request hits the open row
+};
+
+class Controller {
+ public:
+  /// `window`: how many queued requests FR-FCFS considers for reordering.
+  Controller(const TimingParams& params, const SchemeTiming& scheme,
+             unsigned window = 16, PagePolicy policy = PagePolicy::kOpen);
+
+  /// Simulates the trace (must be sorted by arrival cycle) to completion.
+  /// Fills each request's issue/complete stamps in place. Requests with
+  /// rank >= params.ranks are rejected with std::invalid_argument.
+  SimStats Run(Trace& trace);
+
+  const ProtocolChecker& checker() const noexcept { return checker_; }
+
+ private:
+  struct BankState {
+    bool open = false;
+    unsigned row = 0;
+    std::uint64_t ready_act = 0;
+    std::uint64_t ready_cas = 0;
+    std::uint64_t ready_pre = 0;
+    bool had_cas = false;  ///< a CAS hit this activation (closed-page)
+  };
+
+  struct RankState {
+    std::vector<BankState> banks;
+    std::deque<std::uint64_t> act_history;
+    std::vector<std::uint64_t> ready_act_group;
+    std::uint64_t ready_act_any = 0;
+    std::vector<std::uint64_t> ready_cas_group;
+    std::uint64_t ready_read_cmd = 0;  ///< earliest RD after write (tWTR)
+    std::uint64_t next_refresh = 0;
+  };
+
+  unsigned GroupOf(unsigned bank) const { return bank % params_.bank_groups; }
+  BankState& BankOf(const Request& req) {
+    return ranks_[req.rank].banks[req.addr.bank];
+  }
+
+  bool CanIssueCas(const Request& req, std::uint64_t cycle) const;
+  void IssueCas(Request& req, std::uint64_t cycle);
+  bool CanAct(unsigned rank, unsigned bank, std::uint64_t cycle) const;
+  void IssueAct(unsigned rank, unsigned bank, unsigned row,
+                std::uint64_t cycle);
+  bool CanPre(unsigned rank, unsigned bank, std::uint64_t cycle) const;
+  void IssuePre(unsigned rank, unsigned bank, std::uint64_t cycle);
+  /// Earliest legal start of a data burst from `rank` given bus state.
+  std::uint64_t BusReadyFor(unsigned rank) const;
+
+  TimingParams params_;
+  SchemeTiming scheme_;
+  unsigned window_;
+  PagePolicy policy_;
+  ProtocolChecker checker_;
+
+  std::vector<RankState> ranks_;
+  std::uint64_t bus_free_ = 0;
+  unsigned last_burst_rank_ = 0;
+  bool has_burst_ = false;
+  std::uint64_t last_rd_data_end_ = 0;
+  std::uint64_t busy_bus_cycles_ = 0;
+};
+
+}  // namespace pair_ecc::timing

@@ -1,0 +1,29 @@
+// Memory requests as seen by the controller: cache-line reads and writes
+// with cycle-stamped lifecycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.hpp"
+
+namespace pair_ecc::timing {
+
+enum class Op : std::uint8_t { kRead, kWrite };
+
+struct Request {
+  std::uint64_t arrival = 0;  ///< cycle the request enters the queue
+  Op op = Op::kRead;
+  unsigned rank = 0;          ///< rank within the channel
+  dram::Address addr;
+
+  // Filled in by the simulator.
+  std::uint64_t issue = 0;     ///< cycle the CAS command issued
+  std::uint64_t complete = 0;  ///< data (+ decode) fully available / committed
+
+  std::uint64_t Latency() const noexcept { return complete - arrival; }
+};
+
+using Trace = std::vector<Request>;
+
+}  // namespace pair_ecc::timing

@@ -1,0 +1,91 @@
+// DDR4-class timing parameters and the mapping from an ECC scheme's
+// PerfDescriptor onto command-level costs.
+//
+// All values are in memory-clock cycles (tCK). The defaults model a
+// DDR4-3200-class part (1600 MHz clock, tCK = 0.625 ns); absolute values
+// matter less than the ratios, since every benchmark reports performance
+// normalised to the No-ECC baseline on the same parameters.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ecc/scheme.hpp"
+
+namespace pair_ecc::timing {
+
+struct TimingParams {
+  double tck_ns = 0.625;  ///< clock period (DDR4-3200: 1600 MHz)
+
+  unsigned tRCD = 22;   ///< ACT -> RD/WR
+  unsigned tRP = 22;    ///< PRE -> ACT
+  unsigned tCL = 22;    ///< RD -> first data
+  unsigned tCWL = 16;   ///< WR -> first data
+  unsigned tRAS = 52;   ///< ACT -> PRE
+  unsigned tRC = 74;    ///< ACT -> ACT, same bank
+  unsigned tBL = 4;     ///< burst transfer time (BL8 on a DDR bus)
+  unsigned tCCD_S = 4;  ///< CAS -> CAS, different bank group
+  unsigned tCCD_L = 8;  ///< CAS -> CAS, same bank group
+  unsigned tRRD_S = 4;  ///< ACT -> ACT, different bank group
+  unsigned tRRD_L = 8;  ///< ACT -> ACT, same bank group
+  unsigned tFAW = 34;   ///< four-activate window
+  unsigned tWR = 24;    ///< write recovery (end of write data -> PRE)
+  unsigned tWTR = 12;   ///< end of write data -> next RD command
+  unsigned tRTP = 12;   ///< RD -> PRE
+  unsigned tRTW_gap = 2;///< bus turnaround bubble between RD and WR bursts
+
+  // Refresh: one all-bank REF every tREFI; the rank is dead for tRFC.
+  // (7.8 us and 350 ns at tCK = 0.625 ns.) Multi-rank channels stagger
+  // their refreshes across the tREFI window.
+  bool enable_refresh = true;
+  unsigned tREFI = 12480;
+  unsigned tRFC = 560;
+
+  unsigned ranks = 1;   ///< ranks sharing this channel's command/data bus
+  unsigned tCS = 2;     ///< data-bus gap when consecutive bursts switch rank
+
+  unsigned banks = 16;  ///< banks per rank
+  unsigned bank_groups = 4;
+
+  static TimingParams Ddr4_3200() { return {}; }
+
+  void Validate() const {
+    if (banks == 0 || bank_groups == 0 || banks % bank_groups != 0)
+      throw std::invalid_argument("TimingParams: bad bank/group shape");
+    if (ranks == 0)
+      throw std::invalid_argument("TimingParams: need at least one rank");
+    if (tck_ns <= 0.0)
+      throw std::invalid_argument("TimingParams: bad clock period");
+    if (enable_refresh && (tREFI == 0 || tRFC >= tREFI))
+      throw std::invalid_argument("TimingParams: need tRFC < tREFI");
+  }
+};
+
+/// Command-level costs of an ECC scheme, derived from its PerfDescriptor.
+struct SchemeTiming {
+  unsigned read_burst = 4;    ///< data-bus occupancy of a read, cycles
+  unsigned write_burst = 4;
+  unsigned rmw_penalty = 0;   ///< extra bank busy per write (internal RMW)
+  unsigned read_decode = 0;   ///< added to read completion (decode latency)
+  unsigned write_encode = 0;  ///< added before write data (encode latency)
+
+  /// Burst extension: each extra beat is half a clock on a DDR bus, rounded
+  /// up. The internal RMW is an internal column READ of the covering
+  /// codeword plus the WRITE-back — two internal column cycles, modelled as
+  /// 2 * tCCD_L added to the bank's post-write occupancy (assumption
+  /// [A-perf] in DESIGN.md). Decode/encode nanoseconds round up to cycles.
+  static SchemeTiming FromPerf(const ecc::PerfDescriptor& perf,
+                               const TimingParams& t) {
+    SchemeTiming s;
+    s.read_burst = t.tBL + (perf.extra_read_beats + 1) / 2;
+    s.write_burst = t.tBL + (perf.extra_write_beats + 1) / 2;
+    s.rmw_penalty = perf.write_rmw ? 2 * t.tCCD_L : 0;
+    s.read_decode =
+        static_cast<unsigned>(std::ceil(perf.read_decode_ns / t.tck_ns));
+    s.write_encode =
+        static_cast<unsigned>(std::ceil(perf.write_encode_ns / t.tck_ns));
+    return s;
+  }
+};
+
+}  // namespace pair_ecc::timing

@@ -1,0 +1,153 @@
+// Fixed-size dynamic bit vector used as the universal data container for
+// codewords, DRAM row images and fault masks.
+//
+// std::vector<bool> is avoided (no data(), proxy references); this class
+// stores 64-bit words, supports XOR composition (error injection is XOR),
+// popcount, and sub-range extraction, which are the operations the codecs
+// and the fault injector need on their hot paths.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pair_ecc::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates an all-zero vector of `size` bits.
+  explicit BitVec(std::size_t size) : size_(size), words_((size + 63) / 64) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool Get(std::size_t i) const noexcept {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Set(std::size_t i, bool value) noexcept {
+    assert(i < size_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void Flip(std::size_t i) noexcept {
+    assert(i < size_);
+    words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
+
+  void Clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t Popcount() const noexcept {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool AnySet() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  /// In-place XOR with another vector of identical size (error injection,
+  /// parity accumulation). Asserts on size mismatch.
+  BitVec& operator^=(const BitVec& other) noexcept {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+
+  friend BitVec operator^(BitVec a, const BitVec& b) noexcept {
+    a ^= b;
+    return a;
+  }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> SetBits() const {
+    std::vector<std::size_t> out;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int tz = __builtin_ctzll(bits);
+        out.push_back(w * 64 + static_cast<std::size_t>(tz));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Extracts `count` bits starting at `offset` into a new vector.
+  BitVec Slice(std::size_t offset, std::size_t count) const {
+    assert(offset + count <= size_);
+    BitVec out(count);
+    for (std::size_t i = 0; i < count; ++i) out.Set(i, Get(offset + i));
+    return out;
+  }
+
+  /// Overwrites bits [offset, offset+src.size()) with `src`.
+  void Splice(std::size_t offset, const BitVec& src) {
+    assert(offset + src.size() <= size_);
+    for (std::size_t i = 0; i < src.size(); ++i) Set(offset + i, src.Get(i));
+  }
+
+  /// Reads `count` bits (count <= 64) starting at `offset` as an integer,
+  /// bit `offset` becoming the least-significant bit.
+  std::uint64_t GetWord(std::size_t offset, std::size_t count) const noexcept {
+    assert(count <= 64 && offset + count <= size_);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < count; ++i)
+      v |= static_cast<std::uint64_t>(Get(offset + i)) << i;
+    return v;
+  }
+
+  /// Writes the low `count` bits of `value` (count <= 64) at `offset`.
+  void SetWord(std::size_t offset, std::size_t count, std::uint64_t value) noexcept {
+    assert(count <= 64 && offset + count <= size_);
+    for (std::size_t i = 0; i < count; ++i) Set(offset + i, (value >> i) & 1u);
+  }
+
+  /// "0101..." rendering, bit 0 first; for diagnostics and test failure text.
+  std::string ToString() const {
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) s.push_back(Get(i) ? '1' : '0');
+    return s;
+  }
+
+  /// Fills from a RNG (random payload generation in tests/benches).
+  template <typename Rng>
+  static BitVec Random(std::size_t size, Rng& rng) {
+    BitVec v(size);
+    for (std::size_t w = 0; w < v.words_.size(); ++w) v.words_[w] = rng();
+    v.MaskTail();
+    return v;
+  }
+
+ private:
+  void MaskTail() noexcept {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pair_ecc::util

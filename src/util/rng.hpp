@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// All stochastic components in this project (fault injection, workload
+// generation, Monte-Carlo reliability runs) draw from an explicitly seeded
+// Xoshiro256** generator so that every experiment is reproducible from its
+// printed seed. std::mt19937_64 is avoided on hot paths: xoshiro is ~4x
+// faster and has a trivially copyable 32-byte state, which lets simulators
+// snapshot and fork RNG streams cheaply.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pair_ecc::util {
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed value using
+  /// SplitMix64, per the reference implementation's recommendation.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t UniformBelow(std::uint64_t bound) noexcept {
+    __uint128_t m = static_cast<__uint128_t>(operator()()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(operator()()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double UniformDouble() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) noexcept { return UniformDouble() < p; }
+
+  /// Spawns an independent stream: advances this generator once and uses the
+  /// draw as the child's seed. Good enough for simulation fan-out.
+  Xoshiro256 Fork() noexcept { return Xoshiro256(operator()()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pair_ecc::util

@@ -1,0 +1,108 @@
+#include "workload/generator.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace pair_ecc::workload {
+
+std::string ToString(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kStream:  return "stream";
+    case Pattern::kRandom:  return "random";
+    case Pattern::kHotspot: return "hotspot";
+    case Pattern::kLinear:  return "linear";
+    case Pattern::kStrided: return "strided";
+  }
+  return "unknown";
+}
+
+void WorkloadConfig::Validate() const {
+  if (num_requests == 0 || ranks == 0 || banks == 0 || rows == 0 || cols == 0)
+    throw std::invalid_argument("WorkloadConfig: zero-sized field");
+  if (read_fraction < 0.0 || read_fraction > 1.0)
+    throw std::invalid_argument("WorkloadConfig: read_fraction out of [0,1]");
+  if (intensity <= 0.0 || intensity > 1.0)
+    throw std::invalid_argument("WorkloadConfig: intensity out of (0,1]");
+  if (hot_rows == 0 || hot_rows > rows)
+    throw std::invalid_argument("WorkloadConfig: bad hot_rows");
+  if (pattern == Pattern::kStrided && stride == 0)
+    throw std::invalid_argument("WorkloadConfig: stride must be nonzero");
+}
+
+timing::Trace Generate(const WorkloadConfig& config) {
+  config.Validate();
+  util::Xoshiro256 rng(config.seed);
+  timing::Trace trace;
+  trace.reserve(config.num_requests);
+
+  std::uint64_t cycle = 0;
+  // Stream state.
+  unsigned s_bank = 0, s_row = 0, s_col = 0;
+  // Physical-address state for the mapped patterns.
+  std::optional<dram::AddressMapper> mapper;
+  if (config.pattern == Pattern::kLinear ||
+      config.pattern == Pattern::kStrided)
+    mapper.emplace(config.banks, config.rows, config.cols, config.interleave,
+                   config.xor_bank_hash);
+  std::uint64_t phys = 0;
+
+  for (unsigned i = 0; i < config.num_requests; ++i) {
+    // Geometric inter-arrival with mean 1/intensity.
+    while (!rng.Bernoulli(config.intensity)) ++cycle;
+
+    timing::Request req;
+    req.arrival = cycle;
+    req.op = rng.Bernoulli(config.read_fraction) ? timing::Op::kRead
+                                                 : timing::Op::kWrite;
+    switch (config.pattern) {
+      case Pattern::kStream:
+        req.addr = {s_bank, s_row, s_col};
+        // Streams rotate ranks with banks: maximal channel parallelism.
+        req.rank = s_bank % config.ranks;
+        // Walk columns, interleave banks per line, advance rows per sweep.
+        s_bank = (s_bank + 1) % config.banks;
+        if (s_bank == 0) {
+          s_col = (s_col + 1) % config.cols;
+          if (s_col == 0) s_row = (s_row + 1) % config.rows;
+        }
+        break;
+      case Pattern::kRandom:
+        req.rank = static_cast<unsigned>(rng.UniformBelow(config.ranks));
+        req.addr = {static_cast<unsigned>(rng.UniformBelow(config.banks)),
+                    static_cast<unsigned>(rng.UniformBelow(config.rows)),
+                    static_cast<unsigned>(rng.UniformBelow(config.cols))};
+        break;
+      case Pattern::kLinear:
+        req.addr = mapper->Map(phys % mapper->Capacity());
+        req.rank = static_cast<unsigned>((phys / mapper->Capacity()) %
+                                         config.ranks);
+        ++phys;
+        break;
+      case Pattern::kStrided:
+        req.addr = mapper->Map(phys % mapper->Capacity());
+        req.rank = static_cast<unsigned>((phys / mapper->Capacity()) %
+                                         config.ranks);
+        phys += config.stride;
+        break;
+      case Pattern::kHotspot: {
+        if (rng.Bernoulli(config.hot_fraction)) {
+          const auto hot =
+              static_cast<unsigned>(rng.UniformBelow(config.hot_rows));
+          req.rank = hot % config.ranks;
+          req.addr = {hot % config.banks, hot,
+                      static_cast<unsigned>(rng.UniformBelow(config.cols))};
+        } else {
+          req.rank = static_cast<unsigned>(rng.UniformBelow(config.ranks));
+          req.addr = {static_cast<unsigned>(rng.UniformBelow(config.banks)),
+                      static_cast<unsigned>(rng.UniformBelow(config.rows)),
+                      static_cast<unsigned>(rng.UniformBelow(config.cols))};
+        }
+        break;
+      }
+    }
+    trace.push_back(req);
+  }
+  return trace;
+}
+
+}  // namespace pair_ecc::workload

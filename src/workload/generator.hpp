@@ -1,0 +1,64 @@
+// Synthetic address-stream generation for the performance experiments.
+//
+// Five spatial patterns bracket real behaviour:
+//   kStream  — sequential columns walking rows, bank-interleaved: the
+//              row-buffer-friendly best case;
+//   kRandom  — uniformly random (bank, row, column): the row-buffer-hostile
+//              worst case;
+//   kHotspot — a small set of hot rows absorbs most accesses, the rest
+//              random: the middle ground;
+//   kLinear  — sequential *physical* line addresses pushed through an
+//              AddressMapper (interleave + optional XOR bank hash), the way
+//              a real controller sees a memcpy;
+//   kStrided — physical addresses advancing by `stride` lines, the classic
+//              bank-conflict pathology the XOR hash exists to break.
+//
+// `read_fraction` sets the R/W mix (the axis that separates the write-RMW
+// schemes from PAIR in the F4 experiment) and `intensity` the offered load
+// in requests per cycle (geometric inter-arrival gaps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/address_map.hpp"
+#include "dram/geometry.hpp"
+#include "timing/request.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::workload {
+
+enum class Pattern : std::uint8_t {
+  kStream,
+  kRandom,
+  kHotspot,
+  kLinear,
+  kStrided,
+};
+
+std::string ToString(Pattern pattern);
+
+struct WorkloadConfig {
+  Pattern pattern = Pattern::kRandom;
+  unsigned num_requests = 20000;
+  double read_fraction = 0.67;  ///< 2:1 reads:writes, a common mix
+  double intensity = 0.05;      ///< mean requests per cycle offered
+  unsigned ranks = 1;           ///< ranks on the channel
+  unsigned banks = 16;
+  unsigned rows = 64;           ///< rows per bank the stream touches
+  unsigned cols = 128;          ///< columns per row
+  unsigned hot_rows = 4;        ///< kHotspot: number of hot rows
+  double hot_fraction = 0.8;    ///< kHotspot: share of traffic to hot rows
+  /// kLinear/kStrided: controller-side mapping of physical line addresses.
+  dram::Interleave interleave = dram::Interleave::kRowInterleaved;
+  bool xor_bank_hash = false;
+  std::uint64_t stride = 1;     ///< kStrided: lines between accesses
+  std::uint64_t seed = 1;
+
+  void Validate() const;
+};
+
+/// Generates a trace sorted by arrival cycle.
+timing::Trace Generate(const WorkloadConfig& config);
+
+}  // namespace pair_ecc::workload

@@ -1,0 +1,65 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pair_ecc::workload {
+
+void WriteTrace(const timing::Trace& trace, std::ostream& os) {
+  os << "# pair-ecc trace: <cycle> <R|W> <bank> <row> <col> [rank]\n";
+  for (const auto& req : trace) {
+    os << req.arrival << ' ' << (req.op == timing::Op::kRead ? 'R' : 'W')
+       << ' ' << req.addr.bank << ' ' << req.addr.row << ' ' << req.addr.col
+       << ' ' << req.rank << '\n';
+  }
+}
+
+void WriteTraceFile(const timing::Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("WriteTraceFile: cannot open " + path);
+  WriteTrace(trace, os);
+}
+
+timing::Trace ReadTrace(std::istream& is) {
+  timing::Trace trace;
+  std::string line;
+  unsigned line_no = 0;
+  auto fail = [&](const std::string& what) {
+    throw std::runtime_error("trace line " + std::to_string(line_no) + ": " +
+                             what);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    timing::Request req;
+    std::string op;
+    if (!(ss >> req.arrival >> op >> req.addr.bank >> req.addr.row >>
+          req.addr.col))
+      fail("expected '<cycle> <R|W> <bank> <row> <col>'");
+    if (op == "R" || op == "r") {
+      req.op = timing::Op::kRead;
+    } else if (op == "W" || op == "w") {
+      req.op = timing::Op::kWrite;
+    } else {
+      fail("unknown op '" + op + "'");
+    }
+    if (!(ss >> req.rank)) req.rank = 0;  // rank column is optional
+    std::string extra;
+    if (ss >> extra) fail("trailing tokens");
+    if (!trace.empty() && req.arrival < trace.back().arrival)
+      fail("cycles must be non-decreasing");
+    trace.push_back(req);
+  }
+  return trace;
+}
+
+timing::Trace ReadTraceFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("ReadTraceFile: cannot open " + path);
+  return ReadTrace(is);
+}
+
+}  // namespace pair_ecc::workload

@@ -1,0 +1,29 @@
+// Plain-text trace persistence, so externally generated request streams can
+// drive the timing simulator and generated workloads can be archived.
+//
+// Format: one request per line, '#' comments and blank lines ignored:
+//
+//   <cycle> <R|W> <bank> <row> <col> [rank]
+//
+// e.g.  "120 R 3 1021 17" or "120 W 3 1021 17 1". The rank column is
+// optional on input (default 0) and always written on output. Requests
+// must be non-decreasing in cycle.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "timing/request.hpp"
+
+namespace pair_ecc::workload {
+
+/// Serialises `trace` in the text format above.
+void WriteTrace(const timing::Trace& trace, std::ostream& os);
+void WriteTraceFile(const timing::Trace& trace, const std::string& path);
+
+/// Parses a trace. Throws std::runtime_error with a line number on
+/// malformed input, out-of-order cycles, or unknown op codes.
+timing::Trace ReadTrace(std::istream& is);
+timing::Trace ReadTraceFile(const std::string& path);
+
+}  // namespace pair_ecc::workload

@@ -1,0 +1,153 @@
+// DDR5-style geometry (x8, BL16): one column access moves 128 bits, so the
+// conventional on-die codeword is written whole (no RMW) and a PAIR symbol
+// is half a column. These tests pin down the schemes' behaviour at that
+// design point.
+#include <gtest/gtest.h>
+
+#include "core/pair_scheme.hpp"
+#include "dram/rank.hpp"
+#include "ecc/scheme.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc {
+namespace {
+
+using dram::Address;
+using dram::Rank;
+using dram::RankGeometry;
+using ecc::Claim;
+using pair_ecc::util::BitVec;
+using pair_ecc::util::Xoshiro256;
+
+RankGeometry Ddr5Rank() {
+  RankGeometry rg;
+  rg.device = dram::DeviceGeometry::Ddr5x8();
+  return rg;
+}
+
+TEST(Ddr5Geometry, AccessAndColumnMath) {
+  const auto g = dram::DeviceGeometry::Ddr5x8();
+  g.Validate();
+  EXPECT_EQ(g.AccessBits(), 128u);
+  EXPECT_EQ(g.ColumnsPerRow(), 64u);
+  EXPECT_EQ(g.PinLineBits(), 1024u);
+}
+
+TEST(Ddr5Geometry, LineIsOneKibibit) {
+  const auto rg = Ddr5Rank();
+  EXPECT_EQ(rg.LineBits(), 1024u);  // 8 devices x 128 bits
+}
+
+TEST(Ddr5Iecc, FullCodewordWritesDropTheRmw) {
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  auto iecc = ecc::MakeScheme(ecc::SchemeKind::kIecc, rank);
+  EXPECT_FALSE(iecc->Perf().write_rmw);  // DDR5: codeword == access
+  auto xed = ecc::MakeScheme(ecc::SchemeKind::kXed, rank);
+  EXPECT_FALSE(xed->Perf().write_rmw);
+
+  RankGeometry ddr4;
+  Rank rank4(ddr4);
+  EXPECT_TRUE(ecc::MakeScheme(ecc::SchemeKind::kIecc, rank4)->Perf().write_rmw);
+}
+
+TEST(Ddr5Iecc, RoundTripAndSingleBitCorrection) {
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  auto scheme = ecc::MakeScheme(ecc::SchemeKind::kIecc, rank);
+  Xoshiro256 rng(1);
+  const Address addr{0, 3, 17};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  EXPECT_EQ(scheme->ReadLine(addr).data, line);
+  rank.device(2).InjectFlip(0, 3, 17 * 128 + 40);
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+}
+
+TEST(Ddr5Pair, SymbolIsHalfAColumnAndStillAligned) {
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  core::PairScheme pair(rank, core::PairConfig::Pair4());
+  // 1024 pin bits / 8 = 128 symbols, k = 64 -> still 2 codewords per pin;
+  // each column contributes TWO symbols per pin (BL16 = 2 bursts of 8).
+  EXPECT_EQ(pair.CodewordsPerPin(), 2u);
+
+  Xoshiro256 rng(2);
+  const Address addr{0, 4, 9};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  pair.WriteLine(addr, line);
+  EXPECT_EQ(pair.ReadLine(addr).data, line);
+}
+
+TEST(Ddr5Pair, SixteenBeatBurstSpansTwoSymbolsAndCorrects) {
+  // With BL16 a whole-access burst on one pin is exactly 2 aligned symbols
+  // of one codeword — PAIR-4's t = 2 still covers it.
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  core::PairScheme pair(rank, core::PairConfig::Pair4());
+  Xoshiro256 rng(3);
+  const Address addr{0, 5, 20};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  pair.WriteLine(addr, line);
+  for (unsigned i = 0; i < 16; ++i)
+    rank.device(1).InjectFlip(0, 5,
+                              dram::PinLineBit(rg.device, 4, 20 * 16 + i));
+  const auto r = pair.ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+}
+
+TEST(Ddr5Pair, BurstCrossingColumnBoundaryStillWithinBudget) {
+  // A 9-beat burst straddling two columns touches at most 2 adjacent
+  // symbols of one codeword (or one symbol each of two codewords at a w
+  // boundary) — never more than t anywhere.
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  core::PairScheme pair(rank, core::PairConfig::Pair4());
+  Xoshiro256 rng(4);
+  std::vector<BitVec> lines;
+  for (unsigned col : {10u, 11u}) {
+    lines.push_back(BitVec::Random(rg.LineBits(), rng));
+    pair.WriteLine({0, 6, col}, lines.back());
+  }
+  // Burst over pin-line indices [10*16+12, +9): last 4 beats of col 10 and
+  // first 5 of col 11.
+  for (unsigned i = 0; i < 9; ++i)
+    rank.device(0).InjectFlip(0, 6,
+                              dram::PinLineBit(rg.device, 2, 10 * 16 + 12 + i));
+  const auto r10 = pair.ReadLine({0, 6, 10});
+  EXPECT_EQ(r10.claim, Claim::kCorrected);
+  EXPECT_EQ(r10.data, lines[0]);
+  const auto r11 = pair.ReadLine({0, 6, 11});
+  EXPECT_EQ(r11.claim, Claim::kCorrected);
+  EXPECT_EQ(r11.data, lines[1]);
+}
+
+TEST(Ddr5Duo, RejectsGeometryItWasNotSizedFor) {
+  // DUO's published configuration is DDR4 x8 BL8 (8 sidecar symbols per
+  // column). The constructor must reject the BL16 geometry loudly instead
+  // of mis-mapping symbols.
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  EXPECT_THROW(ecc::MakeScheme(ecc::SchemeKind::kDuo, rank),
+               std::invalid_argument);
+}
+
+TEST(Ddr5SecDed, BeatLevelCodeStillFits) {
+  auto rg = Ddr5Rank();
+  Rank rank(rg);
+  auto scheme = ecc::MakeScheme(ecc::SchemeKind::kSecDed, rank);
+  Xoshiro256 rng(5);
+  const Address addr{0, 7, 30};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  rank.device(3).InjectFlip(0, 7, 30 * 128 + 77);
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+}
+
+}  // namespace
+}  // namespace pair_ecc

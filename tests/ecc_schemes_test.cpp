@@ -1,0 +1,516 @@
+// Cross-scheme behaviour tests: round trips, single-bit correction, the
+// characteristic failure modes of each baseline (IECC miscorrection, XED
+// silent-miscorrection SDC vs chip-level reconstruction, DUO rank-level RS
+// correction), and performance-descriptor sanity.
+#include <gtest/gtest.h>
+
+#include "dram/rank.hpp"
+#include "ecc/scheme.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::ecc {
+namespace {
+
+using dram::Address;
+using dram::Rank;
+using dram::RankGeometry;
+using pair_ecc::util::BitVec;
+using pair_ecc::util::Xoshiro256;
+
+constexpr SchemeKind kAllKinds[] = {
+    SchemeKind::kNoEcc,      SchemeKind::kIecc,   SchemeKind::kSecDed,
+    SchemeKind::kIeccSecDed, SchemeKind::kXed,    SchemeKind::kDuo,
+    SchemeKind::kPair2,      SchemeKind::kPair4,  SchemeKind::kPair4SecDed,
+};
+
+class SchemeParamTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  SchemeParamTest() : rank_(rg_), scheme_(MakeScheme(GetParam(), rank_)) {}
+
+  RankGeometry rg_;
+  Rank rank_{rg_};
+  std::unique_ptr<Scheme> scheme_;
+};
+
+TEST_P(SchemeParamTest, CleanRoundTripAcrossColumns) {
+  Xoshiro256 rng(1);
+  std::vector<std::pair<Address, BitVec>> lines;
+  for (unsigned col : {0u, 1u, 63u, 64u, 127u}) {
+    const Address addr{2, 7, col};
+    const BitVec line = BitVec::Random(rg_.LineBits(), rng);
+    scheme_->WriteLine(addr, line);
+    lines.emplace_back(addr, line);
+  }
+  for (const auto& [addr, line] : lines) {
+    const auto r = scheme_->ReadLine(addr);
+    EXPECT_EQ(r.claim, Claim::kClean) << ToString(GetParam());
+    EXPECT_EQ(r.data, line);
+  }
+}
+
+TEST_P(SchemeParamTest, OverwriteIsConsistent) {
+  Xoshiro256 rng(2);
+  const Address addr{0, 3, 10};
+  for (int i = 0; i < 5; ++i) scheme_->WriteLine(addr, BitVec::Random(rg_.LineBits(), rng));
+  const BitVec last = BitVec::Random(rg_.LineBits(), rng);
+  scheme_->WriteLine(addr, last);
+  const auto r = scheme_->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kClean);
+  EXPECT_EQ(r.data, last);
+}
+
+TEST_P(SchemeParamTest, AdjacentLinesDoNotInterfere) {
+  // Columns sharing an on-die codeword (0 and 1) must still round-trip
+  // independently under interleaved writes.
+  Xoshiro256 rng(3);
+  const Address a{1, 9, 0}, b{1, 9, 1};
+  const BitVec la = BitVec::Random(rg_.LineBits(), rng);
+  scheme_->WriteLine(a, la);
+  const BitVec lb = BitVec::Random(rg_.LineBits(), rng);
+  scheme_->WriteLine(b, lb);
+  const BitVec la2 = BitVec::Random(rg_.LineBits(), rng);
+  scheme_->WriteLine(a, la2);
+  EXPECT_EQ(scheme_->ReadLine(b).data, lb);
+  EXPECT_EQ(scheme_->ReadLine(a).data, la2);
+}
+
+TEST_P(SchemeParamTest, SingleBitFaultInDataIsCorrected) {
+  if (GetParam() == SchemeKind::kNoEcc) GTEST_SKIP();
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Address addr{0, 5, static_cast<unsigned>(trial % 128)};
+    const BitVec line = BitVec::Random(rg_.LineBits(), rng);
+    scheme_->WriteLine(addr, line);
+    // Flip one stored bit inside the addressed column of a random device.
+    const unsigned d = static_cast<unsigned>(rng.UniformBelow(8));
+    const unsigned bit = addr.col * 64 + static_cast<unsigned>(rng.UniformBelow(64));
+    rank_.device(d).InjectFlip(addr.bank, addr.row, bit);
+    const auto r = scheme_->ReadLine(addr);
+    EXPECT_EQ(r.claim, Claim::kCorrected) << ToString(GetParam());
+    EXPECT_EQ(r.data, line) << ToString(GetParam()) << " trial " << trial;
+    // Undo so trials stay independent.
+    rank_.device(d).InjectFlip(addr.bank, addr.row, bit);
+  }
+}
+
+TEST_P(SchemeParamTest, SingleBitFaultNeverCausesSdc) {
+  if (GetParam() == SchemeKind::kNoEcc) GTEST_SKIP();
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Address addr{1, 6, 40};
+    const BitVec line = BitVec::Random(rg_.LineBits(), rng);
+    scheme_->WriteLine(addr, line);
+    const unsigned d = static_cast<unsigned>(rng.UniformBelow(8));
+    const unsigned bit = static_cast<unsigned>(rng.UniformBelow(8704));
+    rank_.device(d).InjectFlip(addr.bank, addr.row, bit);
+    const auto r = scheme_->ReadLine(addr);
+    if (r.claim != Claim::kDetected) {
+      EXPECT_EQ(r.data, line);
+    }
+    rank_.device(d).InjectFlip(addr.bank, addr.row, bit);
+  }
+}
+
+TEST_P(SchemeParamTest, PerfDescriptorIsSane) {
+  const PerfDescriptor p = scheme_->Perf();
+  EXPECT_GE(p.read_decode_ns, 0.0);
+  EXPECT_GE(p.storage_overhead, 0.0);
+  EXPECT_LE(p.extra_read_beats, 2u);
+  if (GetParam() == SchemeKind::kNoEcc) {
+    EXPECT_EQ(p.storage_overhead, 0.0);
+    EXPECT_FALSE(p.write_rmw);
+  } else {
+    EXPECT_GT(p.storage_overhead, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeParamTest,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const auto& param_info) {
+                           std::string n = ToString(param_info.param);
+                           for (char& c : n)
+                             if (c == '-' || c == '+') c = '_';
+                           return n;
+                         });
+
+// ------------------------------------------------------------ NoECC baseline
+
+TEST(NoEcc, PassesErrorsThroughSilently) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kNoEcc, rank);
+  Xoshiro256 rng(10);
+  const Address addr{0, 0, 0};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  rank.device(3).InjectFlip(0, 0, 5);
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kClean);  // blissfully unaware
+  EXPECT_NE(r.data, line);            // ... and wrong: SDC by construction
+}
+
+// ------------------------------------------------------- IECC miscorrection
+
+TEST(Iecc, DoubleBitInOneWordMiscorrectsOrDetects) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kIecc, rank);
+  Xoshiro256 rng(11);
+  int miscorrected = 0, detected = 0, delivered_clean = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Address addr{0, 1, 2};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    // Two flips anywhere in the same 128-bit on-die word of device 0 (the
+    // word covers columns 2 and 3).
+    unsigned a = static_cast<unsigned>(rng.UniformBelow(128));
+    unsigned b;
+    do { b = static_cast<unsigned>(rng.UniformBelow(128)); } while (b == a);
+    rank.device(0).InjectFlip(0, 1, 2 * 64 + a);
+    rank.device(0).InjectFlip(0, 1, 2 * 64 + b);
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim == Claim::kDetected) {
+      ++detected;
+    } else if (r.data == line) {
+      // Miscorrection whose three wrong bits all fall in the buddy column:
+      // this line reads clean, the neighbouring one is silently corrupt.
+      ++delivered_clean;
+    } else {
+      ++miscorrected;  // SDC: claims corrected/clean but data is wrong
+    }
+    // Reset state for the next trial.
+    scheme->WriteLine(addr, line);
+  }
+  EXPECT_GT(miscorrected, 60);    // majority alias to a wrong single-bit fix
+  EXPECT_GT(detected, 5);
+  EXPECT_LT(delivered_clean, 40);
+}
+
+// --------------------------------------------------------------- XED paths
+
+TEST(Xed, DetectedChipErrorIsReconstructedFromXorParity) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kXed, rank);
+  Xoshiro256 rng(12);
+  int reconstructed = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Address addr{0, 2, 4};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    // Heavy damage across one device's on-die word (columns 4 and 5): flip
+    // many bits so the SEC flags uncorrectable with fair odds.
+    for (int i = 0; i < 9; ++i)
+      rank.device(5).InjectFlip(0, 2, 4 * 64 + static_cast<unsigned>(rng.UniformBelow(128)));
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim == Claim::kCorrected && r.data == line) ++reconstructed;
+    scheme->WriteLine(addr, line);  // reset
+  }
+  // Whenever the chip signals, RAID-3 reconstruction recovers it exactly.
+  EXPECT_GT(reconstructed, 5);
+}
+
+TEST(Xed, SilentMiscorrectionCausesSdc) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kXed, rank);
+  Xoshiro256 rng(13);
+  int sdc = 0, recovered = 0, detected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Address addr{0, 3, 6};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    // Double-bit error inside one on-die word (columns 6 and 7).
+    unsigned a = static_cast<unsigned>(rng.UniformBelow(128));
+    unsigned b;
+    do { b = static_cast<unsigned>(rng.UniformBelow(128)); } while (b == a);
+    rank.device(2).InjectFlip(0, 3, 6 * 64 + a);
+    rank.device(2).InjectFlip(0, 3, 6 * 64 + b);
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim == Claim::kDetected) {
+      ++detected;
+    } else if (r.data == line) {
+      ++recovered;
+    } else {
+      ++sdc;
+    }
+    scheme->WriteLine(addr, line);
+  }
+  EXPECT_GT(sdc, 60);        // the weakness PAIR's evaluation quantifies
+  EXPECT_GT(recovered, 10);  // flagged cases are reconstructed exactly
+  EXPECT_EQ(detected, 0);    // single-chip events never reach 2-chip DUE
+}
+
+TEST(Xed, TwoChipsFlaggedIsDetected) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kXed, rank);
+  Xoshiro256 rng(14);
+  int detected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Address addr{0, 4, 8};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    for (unsigned dev : {1u, 6u})
+      for (int i = 0; i < 9; ++i)
+        rank.device(dev).InjectFlip(0, 4, 8 * 64 + static_cast<unsigned>(rng.UniformBelow(128)));
+    if (scheme->ReadLine(addr).claim == Claim::kDetected) ++detected;
+    scheme->WriteLine(addr, line);
+  }
+  // Both chips must flag in the same read (~0.2^2 per trial): rare but real.
+  EXPECT_GT(detected, 4);
+}
+
+// ---------------------------------------------------------------- DUO paths
+
+TEST(Duo, CorrectsUpToSixSymbolErrors) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kDuo, rank);
+  Xoshiro256 rng(15);
+  for (unsigned errors = 1; errors <= 6; ++errors) {
+    const Address addr{0, 5, 9};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    // Each flip lands in a distinct device beat => distinct RS symbol.
+    for (unsigned e = 0; e < errors; ++e) {
+      const unsigned dev = e % 8;
+      const unsigned beat = e / 8 + 2 * dev % 8;
+      rank.device(dev).InjectFlip(0, 5, 9 * 64 + (beat % 8) * 8 +
+                                            static_cast<unsigned>(rng.UniformBelow(8)));
+    }
+    const auto r = scheme->ReadLine(addr);
+    EXPECT_EQ(r.claim, Claim::kCorrected) << errors << " errors";
+    EXPECT_EQ(r.data, line) << errors << " errors";
+  }
+}
+
+TEST(Duo, WholeDeviceRowFaultIsDetectedNotSilent) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kDuo, rank);
+  Xoshiro256 rng(16);
+  int sdc = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Address addr{0, 6, 11};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    // Corrupt every bit of device 4's column with p=0.5: ~all 8 symbols bad.
+    for (unsigned b = 0; b < 64; ++b)
+      if (rng.Bernoulli(0.5)) rank.device(4).InjectFlip(0, 6, 11 * 64 + b);
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim != Claim::kDetected && r.data != line) ++sdc;
+    scheme->WriteLine(addr, line);
+  }
+  EXPECT_EQ(sdc, 0);  // > t errors must not slip through silently
+}
+
+TEST(Duo, ParityChipFaultAloneIsCorrectedOrClean) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kDuo, rank);
+  Xoshiro256 rng(17);
+  const Address addr{0, 7, 12};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  rank.device(8).InjectFlip(0, 7, 12 * 64 + 3);  // one parity symbol bit
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+}
+
+// ------------------------------------------------------------ SECDED paths
+
+TEST(SecDed, DoubleBitInOneBeatIsDetected) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kSecDed, rank);
+  Xoshiro256 rng(18);
+  const Address addr{0, 8, 13};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  // Two bits of beat 0: device 0 pin 0 and device 3 pin 2.
+  rank.device(0).InjectFlip(0, 8, 13 * 64 + 0);
+  rank.device(3).InjectFlip(0, 8, 13 * 64 + 2);
+  EXPECT_EQ(scheme->ReadLine(addr).claim, Claim::kDetected);
+}
+
+TEST(SecDed, SingleBitPerBeatAcrossBeatsAllCorrected) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kSecDed, rank);
+  Xoshiro256 rng(19);
+  const Address addr{0, 9, 14};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  // One flip in each of the 8 beats (different devices).
+  for (unsigned beat = 0; beat < 8; ++beat)
+    rank.device(beat).InjectFlip(0, 9, 14 * 64 + beat * 8 + 1);
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+  EXPECT_EQ(r.corrected_units, 8u);
+}
+
+TEST(SecDed, EccChipFaultDoesNotCorruptData) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kSecDed, rank);
+  Xoshiro256 rng(20);
+  const Address addr{0, 10, 15};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  rank.device(8).InjectFlip(0, 10, 15 * 64 + 4);  // parity bit of beat 0
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.data, line);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+}
+
+// -------------------------------------------------- composed-scheme paths
+
+TEST(IeccSecDed, RankLayerRepairsInnerMiscorrection) {
+  // The conventional stack's raison d'etre: when the on-die SEC miscorrects
+  // a double-bit error (adding a third wrong bit), the damage inside one
+  // device is at most a few bits spread across beats — single-bit per
+  // 72-bit rank codeword — and the rank SEC-DED repairs or flags it.
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kIeccSecDed, rank);
+  Xoshiro256 rng(30);
+  int silent = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const Address addr{0, 11, 2};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    unsigned a = static_cast<unsigned>(rng.UniformBelow(128));
+    unsigned b;
+    do { b = static_cast<unsigned>(rng.UniformBelow(128)); } while (b == a);
+    rank.device(0).InjectFlip(0, 11, 2 * 64 + a);
+    rank.device(0).InjectFlip(0, 11, 2 * 64 + b);
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim != Claim::kDetected && r.data != line) ++silent;
+    scheme->WriteLine(addr, line);
+  }
+  // Bare IECC turns the large majority of these into SDC; the stack must
+  // suppress nearly all of it (residue: miscorrections whose extra bits
+  // collide in one beat).
+  EXPECT_LT(silent, 8);
+}
+
+TEST(Xed, ParityChipIsAlsoProtectedOnDie) {
+  // A single-bit fault in the XOR chip is corrected by that chip's own
+  // on-die SEC during reconstruction, so a flagged data chip still rebuilds
+  // exactly.
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kXed, rank);
+  Xoshiro256 rng(31);
+  int exact = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Address addr{0, 12, 4};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    // Heavy damage on data chip 1 (to force a flag) + 1 bit in the parity chip.
+    for (int i = 0; i < 9; ++i)
+      rank.device(1).InjectFlip(0, 12, 4 * 64 + static_cast<unsigned>(rng.UniformBelow(128)));
+    rank.device(8).InjectFlip(0, 12, 4 * 64 + 7);
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim == Claim::kCorrected && r.data == line) ++exact;
+    scheme->WriteLine(addr, line);
+  }
+  EXPECT_GT(exact, 5);  // whenever chip 1 flags, reconstruction is exact
+}
+
+TEST(Duo, SpareRegionFaultIsJustAnotherSymbolError) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kDuo, rank);
+  Xoshiro256 rng(32);
+  const Address addr{0, 13, 6};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  // Corrupt device 2's spare nibble for this column.
+  rank.device(2).InjectFlip(0, 13, rg.device.row_bits + 6 * 4 + 1);
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+}
+
+TEST(Duo, MixedDataAndSpareErrorsWithinBudget) {
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kDuo, rank);
+  Xoshiro256 rng(33);
+  const Address addr{0, 14, 8};
+  const BitVec line = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(addr, line);
+  rank.device(0).InjectFlip(0, 14, 8 * 64 + 3);                     // data
+  rank.device(8).InjectFlip(0, 14, 8 * 64 + 12);                    // sidecar
+  rank.device(5).InjectFlip(0, 14, rg.device.row_bits + 8 * 4 + 0); // spare
+  const auto r = scheme->ReadLine(addr);
+  EXPECT_EQ(r.claim, Claim::kCorrected);
+  EXPECT_EQ(r.data, line);
+}
+
+TEST(Iecc, WriteOverLatentErrorCorrectsIt) {
+  // Read-correct-modify-write: writing one column of a word repairs a
+  // latent single-bit error in the buddy column (assumption [A6]).
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = MakeScheme(SchemeKind::kIecc, rank);
+  Xoshiro256 rng(34);
+  const Address a{0, 15, 2}, buddy{0, 15, 3};
+  const BitVec la = BitVec::Random(rg.LineBits(), rng);
+  const BitVec lb = BitVec::Random(rg.LineBits(), rng);
+  scheme->WriteLine(a, la);
+  scheme->WriteLine(buddy, lb);
+  rank.device(4).InjectFlip(0, 15, 3 * 64 + 30);  // latent error at buddy
+  scheme->WriteLine(a, la);                       // RMW decodes+restores
+  const auto r = scheme->ReadLine(buddy);
+  EXPECT_EQ(r.claim, Claim::kClean);
+  EXPECT_EQ(r.data, lb);
+}
+
+// ---------------------------------------------------- factory and metadata
+
+TEST(SchemeFactory, NamesAreDistinct) {
+  RankGeometry rg;
+  std::vector<std::string> names;
+  for (SchemeKind kind : kAllKinds) {
+    Rank rank(rg);
+    names.push_back(MakeScheme(kind, rank)->Name());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(SchemeFactory, SidecarSchemesRequireEccDevice) {
+  RankGeometry rg;
+  rg.ecc_devices = 0;
+  Rank rank(rg);
+  for (SchemeKind kind : {SchemeKind::kSecDed, SchemeKind::kXed, SchemeKind::kDuo})
+    EXPECT_THROW(MakeScheme(kind, rank), std::invalid_argument) << ToString(kind);
+  // On-die-only schemes do not need the sidecar.
+  EXPECT_NO_THROW(MakeScheme(SchemeKind::kPair4, rank));
+  EXPECT_NO_THROW(MakeScheme(SchemeKind::kIecc, rank));
+}
+
+TEST(SchemePerf, RelativeShapesMatchTheArchitectures) {
+  RankGeometry rg;
+  Rank rank(rg);
+  const auto iecc = MakeScheme(SchemeKind::kIecc, rank)->Perf();
+  const auto xed = MakeScheme(SchemeKind::kXed, rank)->Perf();
+  const auto duo = MakeScheme(SchemeKind::kDuo, rank)->Perf();
+  const auto pair4 = MakeScheme(SchemeKind::kPair4, rank)->Perf();
+  EXPECT_TRUE(iecc.write_rmw);
+  EXPECT_TRUE(xed.write_rmw);
+  EXPECT_FALSE(duo.write_rmw);
+  EXPECT_FALSE(pair4.write_rmw);   // the delta-parity write path
+  EXPECT_EQ(duo.extra_read_beats, 1u);
+  EXPECT_EQ(pair4.extra_read_beats, 0u);
+  EXPECT_NEAR(pair4.storage_overhead, 0.0625, 1e-9);
+  EXPECT_NEAR(iecc.storage_overhead, 0.0625, 1e-9);
+}
+
+}  // namespace
+}  // namespace pair_ecc::ecc

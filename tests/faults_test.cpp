@@ -1,0 +1,254 @@
+// Fault-model and injector tests: spatial footprint of every fault class,
+// permanent vs transient semantics, mix sampling, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dram/rank.hpp"
+#include "faults/injector.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::faults {
+namespace {
+
+using dram::Rank;
+using dram::RankGeometry;
+using pair_ecc::util::BitVec;
+using pair_ecc::util::Xoshiro256;
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest() : rank_(rg_), injector_(rank_, {{0, 10}, {0, 11}, {1, 20}}) {
+    // Fill the working set with random data so stuck-at faults are visible
+    // about half the time and flips always.
+    Xoshiro256 rng(99);
+    for (const auto& r : injector_.working_set()) {
+      for (unsigned d = 0; d < rank_.TotalDevices(); ++d) {
+        rank_.device(d).WriteBits(
+            r.bank, r.row, 0,
+            BitVec::Random(rg_.device.TotalRowBits(), rng));
+      }
+    }
+    SnapshotTruth();
+  }
+
+  void SnapshotTruth() {
+    truth_.clear();
+    for (const auto& r : injector_.working_set())
+      for (unsigned d = 0; d < rank_.TotalDevices(); ++d)
+        truth_.push_back(rank_.device(d).ReadBits(r.bank, r.row, 0,
+                                                  rg_.device.TotalRowBits()));
+  }
+
+  /// Bits differing from the snapshot, per (row-in-working-set, device).
+  std::vector<std::vector<std::size_t>> DiffBits() {
+    std::vector<std::vector<std::size_t>> out;
+    std::size_t i = 0;
+    for (const auto& r : injector_.working_set()) {
+      for (unsigned d = 0; d < rank_.TotalDevices(); ++d) {
+        const BitVec now =
+            rank_.device(d).ReadBits(r.bank, r.row, 0,
+                                     rg_.device.TotalRowBits());
+        out.push_back((now ^ truth_[i]).SetBits());
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  std::size_t TotalDiff() {
+    std::size_t n = 0;
+    for (const auto& v : DiffBits()) n += v.size();
+    return n;
+  }
+
+  RankGeometry rg_;
+  Rank rank_{rg_};
+  Injector injector_;
+  std::vector<BitVec> truth_;
+};
+
+TEST_F(InjectorTest, RejectsEmptyWorkingSet) {
+  EXPECT_THROW(Injector(rank_, {}), std::invalid_argument);
+}
+
+TEST_F(InjectorTest, RejectsOutOfRangeWorkingSet) {
+  EXPECT_THROW(Injector(rank_, {{99, 0}}), std::out_of_range);
+}
+
+TEST_F(InjectorTest, SingleBitTransientFlipsExactlyOneBit) {
+  Xoshiro256 rng(1);
+  const auto f = injector_.Inject(FaultType::kSingleBit, false, rng);
+  EXPECT_EQ(f.type, FaultType::kSingleBit);
+  EXPECT_FALSE(f.permanent);
+  EXPECT_EQ(TotalDiff(), 1u);
+}
+
+TEST_F(InjectorTest, SingleBitPermanentDiffersAtMostOneBit) {
+  Xoshiro256 rng(2);
+  injector_.Inject(FaultType::kSingleBit, true, rng);
+  EXPECT_LE(TotalDiff(), 1u);  // stuck at the stored value is invisible
+}
+
+TEST_F(InjectorTest, SingleWordStaysWithinOneAlignedWord) {
+  Xoshiro256 rng(3);
+  const auto f = injector_.Inject(FaultType::kSingleWord, false, rng);
+  const auto diffs = DiffBits();
+  std::size_t groups_hit = 0;
+  for (const auto& bits : diffs) {
+    if (bits.empty()) continue;
+    ++groups_hit;
+    for (auto b : bits) {
+      EXPECT_GE(b, f.bit);
+      EXPECT_LT(b, f.bit + 128);
+    }
+  }
+  EXPECT_EQ(groups_hit, 1u);  // one device, one row
+}
+
+TEST_F(InjectorTest, SinglePinConfinesDamageToOnePinLine) {
+  Xoshiro256 rng(4);
+  const auto f = injector_.Inject(FaultType::kSinglePin, true, rng);
+  const unsigned pin = f.bit;
+  const auto diffs = DiffBits();
+  std::size_t total = 0;
+  for (const auto& bits : diffs) {
+    for (auto b : bits) {
+      ASSERT_LT(b, rg_.device.row_bits) << "pin fault must spare the parity region";
+      EXPECT_EQ(b % rg_.device.dq_pins, pin);
+      ++total;
+    }
+  }
+  // ~half the 1024 pin bits read wrong under stuck-at-random.
+  EXPECT_GT(total, 350u);
+  EXPECT_LT(total, 700u);
+}
+
+TEST_F(InjectorTest, SingleRowCorruptsOnlyThatRow) {
+  Xoshiro256 rng(5);
+  const auto f = injector_.Inject(FaultType::kSingleRow, true, rng);
+  std::size_t i = 0;
+  for (const auto& r : injector_.working_set()) {
+    for (unsigned d = 0; d < rank_.TotalDevices(); ++d) {
+      const BitVec now = rank_.device(d).ReadBits(
+          r.bank, r.row, 0, rg_.device.TotalRowBits());
+      const std::size_t diff = (now ^ truth_[i]).Popcount();
+      if (d == f.device && r.bank == f.bank && r.row == f.row) {
+        // ~50% of 8704 bits.
+        EXPECT_GT(diff, 3800u);
+        EXPECT_LT(diff, 4900u);
+      } else {
+        EXPECT_EQ(diff, 0u);
+      }
+      ++i;
+    }
+  }
+}
+
+TEST_F(InjectorTest, SingleBankHitsEveryWorkingSetRowOfTheBank) {
+  Xoshiro256 rng(6);
+  const auto f = injector_.Inject(FaultType::kSingleBank, true, rng);
+  std::size_t i = 0;
+  for (const auto& r : injector_.working_set()) {
+    for (unsigned d = 0; d < rank_.TotalDevices(); ++d) {
+      const BitVec now = rank_.device(d).ReadBits(
+          r.bank, r.row, 0, rg_.device.TotalRowBits());
+      const std::size_t diff = (now ^ truth_[i]).Popcount();
+      if (d == f.device && r.bank == f.bank) {
+        EXPECT_GT(diff, 3800u) << "row " << r.row;
+      } else {
+        EXPECT_EQ(diff, 0u);
+      }
+      ++i;
+    }
+  }
+}
+
+TEST_F(InjectorTest, PinBurstFlipsExactlyLengthConsecutivePinBits) {
+  Xoshiro256 rng(7);
+  const auto f = injector_.InjectPinBurst(/*device=*/2, /*length=*/5, rng);
+  EXPECT_EQ(f.length, 5u);
+  const auto diffs = DiffBits();
+  std::vector<std::size_t> hit;
+  for (std::size_t g = 0; g < diffs.size(); ++g)
+    for (auto b : diffs[g]) hit.push_back(b);
+  ASSERT_EQ(hit.size(), 5u);
+  // All on one pin, consecutive along the pin line.
+  const unsigned pin = static_cast<unsigned>(hit[0] % rg_.device.dq_pins);
+  for (std::size_t j = 0; j < hit.size(); ++j) {
+    EXPECT_EQ(hit[j] % rg_.device.dq_pins, pin);
+    EXPECT_EQ(hit[j] / rg_.device.dq_pins, hit[0] / rg_.device.dq_pins + j);
+  }
+}
+
+TEST_F(InjectorTest, PinBurstRejectsBadLength) {
+  Xoshiro256 rng(8);
+  EXPECT_THROW(injector_.InjectPinBurst(0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(injector_.InjectPinBurst(0, 4096, rng), std::invalid_argument);
+}
+
+TEST_F(InjectorTest, InjectionIsDeterministicGivenSeed) {
+  Xoshiro256 rng_a(42), rng_b(42);
+  const auto fa = injector_.Inject(FaultType::kSingleBit, false, rng_a);
+  // Re-flip to undo, then repeat with the same seed.
+  rank_.device(fa.device).InjectFlip(fa.bank, fa.row, fa.bit);
+  const auto fb = injector_.Inject(FaultType::kSingleBit, false, rng_b);
+  EXPECT_EQ(fa.device, fb.device);
+  EXPECT_EQ(fa.bank, fb.bank);
+  EXPECT_EQ(fa.row, fb.row);
+  EXPECT_EQ(fa.bit, fb.bit);
+}
+
+// ------------------------------------------------------------------ FaultMix
+
+TEST(FaultMix, PresetsHaveSensibleWeights) {
+  EXPECT_NEAR(FaultMix::Inherent().TotalWeight(), 1.0, 1e-9);
+  EXPECT_NEAR(FaultMix::CellOnly().TotalWeight(), 1.0, 1e-9);
+  EXPECT_NEAR(FaultMix::Clustered().TotalWeight(), 1.0, 1e-9);
+  EXPECT_EQ(FaultMix::CellOnly().WeightOf(FaultType::kSinglePin), 0.0);
+}
+
+TEST(FaultMix, SampleTypeFollowsWeights) {
+  FaultMix mix;
+  mix.single_bit = 0.5;
+  mix.single_word = 0.0;
+  mix.single_pin = 0.5;
+  mix.single_row = 0.0;
+  mix.single_bank = 0.0;
+  mix.pin_burst = 0.0;
+  Xoshiro256 rng(9);
+  int bits = 0, pins = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const FaultType t = SampleType(mix, rng);
+    ASSERT_TRUE(t == FaultType::kSingleBit || t == FaultType::kSinglePin);
+    (t == FaultType::kSingleBit ? bits : pins)++;
+  }
+  EXPECT_NEAR(static_cast<double>(bits) / 10000.0, 0.5, 0.03);
+}
+
+TEST(FaultMix, ZeroWeightMixThrows) {
+  FaultMix mix{0, 0, 0, 0, 0, 0, 0.5};
+  Xoshiro256 rng(10);
+  EXPECT_THROW(SampleType(mix, rng), std::invalid_argument);
+}
+
+TEST(FaultMix, ToStringCoversAllTypes) {
+  for (FaultType t : kAllFaultTypes) EXPECT_FALSE(ToString(t).empty());
+}
+
+TEST(FaultMixSampling, InjectFromMixRespectsPermanentFraction) {
+  RankGeometry rg;
+  Rank rank(rg);
+  Injector injector(rank, {{0, 0}});
+  FaultMix mix = FaultMix::CellOnly();
+  mix.permanent_fraction = 1.0;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto f = injector.InjectFromMix(mix, rng);
+    EXPECT_TRUE(f.permanent);
+    EXPECT_EQ(f.type, FaultType::kSingleBit);
+  }
+}
+
+}  // namespace
+}  // namespace pair_ecc::faults

@@ -1,0 +1,274 @@
+// pairsim — command-line front-end for the PAIR reproduction.
+//
+//   pairsim codes
+//       Print every scheme's code configuration and overheads.
+//   pairsim reliability [--scheme S] [--mix M] [--faults N] [--trials T]
+//                       [--seed X]
+//       Single-shot Monte-Carlo outcome breakdown.
+//   pairsim lifetime    [--scheme S] [--epochs E] [--rate R] [--scrub K]
+//                       [--trials T] [--seed X]
+//       Fault accumulation over a deployment window with patrol scrubbing.
+//   pairsim perf        [--scheme S] [--pattern P] [--reads F]
+//                       [--requests N] [--intensity I] [--seed X]
+//                       [--trace FILE] [--save-trace FILE]
+//       Cycle-approximate DDR4 simulation, normalised to No-ECC.
+//
+// Schemes:  noecc iecc secded iecc+secded xed duo pair2 pair4 pair4+secded
+// Mixes:    inherent cellonly clustered
+// Patterns: stream random hotspot
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/rank.hpp"
+#include "ecc/scheme.hpp"
+#include "reliability/lifetime.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "timing/controller.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace pair_ecc;
+
+namespace {
+
+const std::map<std::string, ecc::SchemeKind> kSchemes = {
+    {"noecc", ecc::SchemeKind::kNoEcc},
+    {"iecc", ecc::SchemeKind::kIecc},
+    {"secded", ecc::SchemeKind::kSecDed},
+    {"iecc+secded", ecc::SchemeKind::kIeccSecDed},
+    {"xed", ecc::SchemeKind::kXed},
+    {"duo", ecc::SchemeKind::kDuo},
+    {"pair2", ecc::SchemeKind::kPair2},
+    {"pair4", ecc::SchemeKind::kPair4},
+    {"pair4+secded", ecc::SchemeKind::kPair4SecDed},
+};
+
+/// Minimal --flag value parser: every flag takes exactly one value.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0)
+        throw std::runtime_error("expected --flag, got '" + key + "'");
+      if (i + 1 >= argc)
+        throw std::runtime_error("flag " + key + " needs a value");
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) {
+    consumed_.push_back(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) {
+    const auto s = Get(key, "");
+    return s.empty() ? fallback : std::stod(s);
+  }
+  unsigned GetUnsigned(const std::string& key, unsigned fallback) {
+    const auto s = Get(key, "");
+    return s.empty() ? fallback : static_cast<unsigned>(std::stoul(s));
+  }
+  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) {
+    const auto s = Get(key, "");
+    return s.empty() ? fallback : std::stoull(s);
+  }
+
+  /// Errors on flags nobody asked for (typo protection).
+  void CheckAllConsumed() const {
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const auto& c : consumed_) known |= c == key;
+      if (!known) throw std::runtime_error("unknown flag --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> consumed_;
+};
+
+ecc::SchemeKind ParseScheme(const std::string& name) {
+  const auto it = kSchemes.find(name);
+  if (it == kSchemes.end())
+    throw std::runtime_error("unknown scheme '" + name + "'");
+  return it->second;
+}
+
+faults::FaultMix ParseMix(const std::string& name) {
+  if (name == "inherent") return faults::FaultMix::Inherent();
+  if (name == "cellonly") return faults::FaultMix::CellOnly();
+  if (name == "clustered") return faults::FaultMix::Clustered();
+  throw std::runtime_error("unknown mix '" + name + "'");
+}
+
+workload::Pattern ParsePattern(const std::string& name) {
+  if (name == "stream") return workload::Pattern::kStream;
+  if (name == "random") return workload::Pattern::kRandom;
+  if (name == "hotspot") return workload::Pattern::kHotspot;
+  if (name == "linear") return workload::Pattern::kLinear;
+  if (name == "strided") return workload::Pattern::kStrided;
+  throw std::runtime_error("unknown pattern '" + name + "'");
+}
+
+int CmdCodes() {
+  util::Table t({"scheme", "storage ovh", "extra beats (R/W)", "write RMW",
+                 "decode ns"});
+  for (const auto& [name, kind] : kSchemes) {
+    dram::RankGeometry rg;
+    dram::Rank rank(rg);
+    auto scheme = ecc::MakeScheme(kind, rank);
+    const auto p = scheme->Perf();
+    t.AddRow({scheme->Name(),
+              util::Table::Fixed(p.storage_overhead * 100, 2) + "%",
+              std::to_string(p.extra_read_beats) + "/" +
+                  std::to_string(p.extra_write_beats),
+              p.write_rmw ? "yes" : "no",
+              util::Table::Fixed(p.read_decode_ns, 1)});
+  }
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdReliability(Args& args) {
+  reliability::ScenarioConfig cfg;
+  cfg.scheme = ParseScheme(args.Get("scheme", "pair4"));
+  cfg.mix = ParseMix(args.Get("mix", "inherent"));
+  cfg.faults_per_trial = args.GetUnsigned("faults", 2);
+  cfg.seed = args.GetU64("seed", 1);
+  const unsigned trials = args.GetUnsigned("trials", 500);
+  args.CheckAllConsumed();
+
+  const auto c = reliability::RunMonteCarlo(cfg, trials);
+  util::Table t({"metric", "value"});
+  const auto frac = [&](std::uint64_t v) {
+    return util::Table::Sci(static_cast<double>(v) /
+                            static_cast<double>(c.reads));
+  };
+  t.AddRow({"reads", std::to_string(c.reads)});
+  t.AddRow({"clean", frac(c.no_error)});
+  t.AddRow({"corrected", frac(c.corrected)});
+  t.AddRow({"DUE", frac(c.due)});
+  t.AddRow({"SDC (miscorrected)", frac(c.sdc_miscorrected)});
+  t.AddRow({"SDC (undetected)", frac(c.sdc_undetected)});
+  t.AddRow({"P(SDC)/trial", util::Table::Sci(c.TrialSdcRate())});
+  const auto ci = c.TrialSdcInterval();
+  t.AddRow({"  95% CI", "[" + util::Table::Sci(ci.lower) + ", " +
+                            util::Table::Sci(ci.upper) + "]"});
+  t.AddRow({"P(failure)/trial", util::Table::Sci(c.TrialFailureRate())});
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdLifetime(Args& args) {
+  reliability::LifetimeConfig cfg;
+  cfg.scheme = ParseScheme(args.Get("scheme", "pair4"));
+  cfg.mix = ParseMix(args.Get("mix", "inherent"));
+  cfg.epochs = args.GetUnsigned("epochs", 50);
+  cfg.faults_per_epoch = args.GetDouble("rate", 0.1);
+  cfg.scrub_interval = args.GetUnsigned("scrub", 0);
+  cfg.seed = args.GetU64("seed", 1);
+  const unsigned trials = args.GetUnsigned("trials", 200);
+  args.CheckAllConsumed();
+
+  const auto s = reliability::RunLifetime(cfg, trials);
+  util::Table t({"metric", "value"});
+  t.AddRow({"trials", std::to_string(s.trials)});
+  t.AddRow({"P(SDC) within horizon", util::Table::Sci(s.SdcProbability())});
+  t.AddRow({"P(DUE) within horizon", util::Table::Sci(s.DueProbability())});
+  t.AddRow({"mean first-SDC epoch", util::Table::Fixed(s.mean_sdc_epoch, 1)});
+  t.AddRow({"corrections", std::to_string(s.total_corrections)});
+  t.AddRow({"scrub passes", std::to_string(s.total_scrub_writebacks)});
+  t.Print(std::cout);
+  return 0;
+}
+
+int CmdPerf(Args& args) {
+  const auto kind = ParseScheme(args.Get("scheme", "pair4"));
+  const std::string trace_path = args.Get("trace", "");
+  const std::string save_path = args.Get("save-trace", "");
+
+  workload::WorkloadConfig cfg;
+  cfg.pattern = ParsePattern(args.Get("pattern", "hotspot"));
+  cfg.read_fraction = args.GetDouble("reads", 0.67);
+  cfg.num_requests = args.GetUnsigned("requests", 30000);
+  cfg.intensity = args.GetDouble("intensity", 0.12);
+  cfg.stride = args.GetU64("stride", 1);
+  cfg.xor_bank_hash = args.GetUnsigned("xor-hash", 0) != 0;
+  cfg.ranks = args.GetUnsigned("ranks", 1);
+  cfg.seed = args.GetU64("seed", 1);
+  args.CheckAllConsumed();
+
+  timing::Trace trace = trace_path.empty()
+                            ? workload::Generate(cfg)
+                            : workload::ReadTraceFile(trace_path);
+  if (!save_path.empty()) workload::WriteTraceFile(trace, save_path);
+
+  timing::TimingParams params = timing::TimingParams::Ddr4_3200();
+  params.ranks = cfg.ranks;
+  auto run = [&](ecc::SchemeKind k, timing::Trace t_in) {
+    dram::RankGeometry rg;
+    dram::Rank rank(rg);
+    auto scheme = ecc::MakeScheme(k, rank);
+    timing::Controller ctrl(
+        params, timing::SchemeTiming::FromPerf(scheme->Perf(), params));
+    const auto stats = ctrl.Run(t_in);
+    if (!ctrl.checker().violations().empty())
+      throw std::runtime_error("protocol violation: " +
+                               ctrl.checker().violations().front());
+    return stats;
+  };
+  const auto base = run(ecc::SchemeKind::kNoEcc, trace);
+  const auto stats = run(kind, trace);
+
+  util::Table t({"metric", "value"});
+  t.AddRow({"requests", std::to_string(stats.reads + stats.writes)});
+  t.AddRow({"cycles", std::to_string(stats.cycles)});
+  t.AddRow({"avg read latency (cyc)",
+            util::Table::Fixed(stats.avg_read_latency, 1)});
+  t.AddRow({"p99 read latency (cyc)",
+            util::Table::Fixed(stats.p99_read_latency, 0)});
+  t.AddRow({"bandwidth (GB/s)",
+            util::Table::Fixed(stats.BytesPerCycle() / params.tck_ns, 2)});
+  t.AddRow({"bus utilization", util::Table::Fixed(stats.bus_utilization, 3)});
+  t.AddRow({"refreshes", std::to_string(stats.refreshes)});
+  t.AddRow({"normalized perf vs No-ECC",
+            util::Table::Fixed(static_cast<double>(base.cycles) /
+                                   static_cast<double>(stats.cycles),
+                               3)});
+  t.Print(std::cout);
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: pairsim <codes|reliability|lifetime|perf> [--flag value]...\n"
+         "  pairsim codes\n"
+         "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
+         "  pairsim lifetime --scheme pair4 --epochs 50 --rate 0.1 --scrub 8\n"
+         "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (cmd == "codes") return CmdCodes();
+    if (cmd == "reliability") return CmdReliability(args);
+    if (cmd == "lifetime") return CmdLifetime(args);
+    if (cmd == "perf") return CmdPerf(args);
+    return Usage();
+  } catch (const std::exception& e) {
+    std::cerr << "pairsim: " << e.what() << "\n";
+    return 1;
+  }
+}
