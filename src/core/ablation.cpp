@@ -5,6 +5,8 @@
 #include "hamming/hamming.hpp"
 #include "rs/rs_code.hpp"
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::core {
 namespace {
 
@@ -23,14 +25,11 @@ class PinAlignedSecScheme final : public ecc::Scheme {
   explicit PinAlignedSecScheme(dram::Rank& rank)
       : Scheme(rank), code_(kSegmentBits, /*extended=*/false) {
     const auto& g = rank.geometry().device;
-    if (g.PinLineBits() % kSegmentBits != 0)
-      throw std::invalid_argument(
-          "PinAlignedSec: segments must tile the pin line");
+    PAIR_CHECK(!(g.PinLineBits() % kSegmentBits != 0), "PinAlignedSec: segments must tile the pin line");
     segments_per_pin_ = g.PinLineBits() / kSegmentBits;
     const unsigned parity_bits =
         g.dq_pins * segments_per_pin_ * code_.ParityBits();
-    if (parity_bits > g.spare_row_bits)
-      throw std::invalid_argument("PinAlignedSec: spare region too small");
+    PAIR_CHECK(parity_bits <= g.spare_row_bits, "PinAlignedSec: spare region too small");
   }
 
   std::string Name() const override { return "PA-SEC"; }
@@ -147,11 +146,9 @@ class InterleavedRsScheme final : public ecc::Scheme {
   explicit InterleavedRsScheme(dram::Rank& rank)
       : Scheme(rank), code_(rs::RsCode::Gf256(68, 64)) {
     const auto& g = rank.geometry().device;
-    if (g.row_bits % kChunkBits != 0)
-      throw std::invalid_argument("InterleavedRs: chunks must tile the row");
+    PAIR_CHECK(!(g.row_bits % kChunkBits != 0), "InterleavedRs: chunks must tile the row");
     chunks_ = g.row_bits / kChunkBits;
-    if (chunks_ * code_.r() * kSymbolBits > g.spare_row_bits)
-      throw std::invalid_argument("InterleavedRs: spare region too small");
+    PAIR_CHECK(!(chunks_ * code_.r() * kSymbolBits > g.spare_row_bits), "InterleavedRs: spare region too small");
   }
 
   std::string Name() const override { return "IL-RS"; }
@@ -244,7 +241,9 @@ class InterleavedRsScheme final : public ecc::Scheme {
       util::BitVec col_slice(g.AccessBits());
       for (unsigned b = 0; b < g.AccessBits(); ++b) {
         const unsigned bit = base_bit + b;
-        col_slice.Set(b, (word[bit / kSymbolBits] >> (bit % kSymbolBits)) & 1u);
+        col_slice.Set(b, (static_cast<unsigned>(word[bit / kSymbolBits]) >>
+                          (bit % kSymbolBits)) &
+                             1u);
       }
       rank().SetDeviceSlice(result.data, d, col_slice);
     }

@@ -1,12 +1,20 @@
 // MakeScheme lives here (not in src/ecc) because it must construct PAIR,
 // which sits above the baseline-scheme library in the layering.
-#include <stdexcept>
-
 #include "core/pair_scheme.hpp"
 #include "ecc/scheme.hpp"
 #include "ecc/schemes_internal.hpp"
+#include "util/contract.hpp"
 
 namespace pair_ecc::ecc {
+
+std::span<const SchemeKind> AllSchemeKinds() noexcept {
+  static constexpr SchemeKind kAll[] = {
+      SchemeKind::kNoEcc,      SchemeKind::kIecc,  SchemeKind::kSecDed,
+      SchemeKind::kIeccSecDed, SchemeKind::kXed,   SchemeKind::kDuo,
+      SchemeKind::kPair2,      SchemeKind::kPair4, SchemeKind::kPair4SecDed,
+  };
+  return kAll;
+}
 
 std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, dram::Rank& rank) {
   switch (kind) {
@@ -31,7 +39,8 @@ std::unique_ptr<Scheme> MakeScheme(SchemeKind kind, dram::Rank& rank) {
           rank,
           std::make_unique<core::PairScheme>(rank, core::PairConfig::Pair4()));
   }
-  throw std::invalid_argument("MakeScheme: unknown scheme kind");
+  PAIR_UNREACHABLE("unknown SchemeKind "
+                   << static_cast<unsigned>(kind));
 }
 
 }  // namespace pair_ecc::ecc

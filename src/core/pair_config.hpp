@@ -19,6 +19,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::core {
 
 struct PairConfig {
@@ -57,10 +59,8 @@ struct PairConfig {
   }
 
   void Validate() const {
-    if (data_symbols == 0 || check_symbols == 0)
-      throw std::invalid_argument("PairConfig: zero-sized code");
-    if (data_symbols + check_symbols > 255)
-      throw std::invalid_argument("PairConfig: codeword exceeds GF(256)");
+    PAIR_CHECK(!(data_symbols == 0 || check_symbols == 0), "PairConfig: zero-sized code");
+    PAIR_CHECK(!(data_symbols + check_symbols > 255), "PairConfig: codeword exceeds GF(256)");
   }
 };
 

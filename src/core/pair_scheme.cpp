@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::core {
 
 using dram::PinLineBit;
@@ -18,19 +20,15 @@ PairScheme::PairScheme(dram::Rank& rank, const PairConfig& config)
                               config.data_symbols)) {
   config_.Validate();
   const auto& g = rank.geometry().device;
-  if (g.burst_length % kSymbolBits != 0)
-    throw std::invalid_argument("PAIR: burst length must be a whole number of symbols");
-  if (g.PinLineBits() % kSymbolBits != 0)
-    throw std::invalid_argument("PAIR: pin line must be a whole number of symbols");
+  PAIR_CHECK(!(g.burst_length % kSymbolBits != 0), "PAIR: burst length must be a whole number of symbols");
+  PAIR_CHECK(!(g.PinLineBits() % kSymbolBits != 0), "PAIR: pin line must be a whole number of symbols");
   symbols_per_pin_ = g.PinLineBits() / kSymbolBits;
-  if (symbols_per_pin_ % config_.data_symbols != 0)
-    throw std::invalid_argument("PAIR: codewords must tile the pin line");
+  PAIR_CHECK(!(symbols_per_pin_ % config_.data_symbols != 0), "PAIR: codewords must tile the pin line");
   cw_per_pin_ = symbols_per_pin_ / config_.data_symbols;
   subsymbols_per_col_ = g.burst_length / kSymbolBits;
   const unsigned parity_bits =
       g.dq_pins * cw_per_pin_ * config_.check_symbols * kSymbolBits;
-  if (parity_bits > g.spare_row_bits)
-    throw std::invalid_argument("PAIR: spare region too small for parity");
+  PAIR_CHECK(parity_bits <= g.spare_row_bits, "PAIR: spare region too small for parity");
 }
 
 ecc::PerfDescriptor PairScheme::Perf() const {
@@ -81,7 +79,7 @@ void PairScheme::StoreCodeword(unsigned device, unsigned bank, unsigned row,
     const unsigned s = w * code_.k() + i;
     for (unsigned j = 0; j < kSymbolBits; ++j)
       dev.WriteBit(bank, row, PinLineBit(g, pin, s * kSymbolBits + j),
-                   (word[i] >> j) & 1u);
+                   (static_cast<unsigned>(word[i]) >> j) & 1u);
   }
   for (unsigned j = 0; j < config_.check_symbols; ++j) {
     util::BitVec bits(kSymbolBits);
@@ -100,9 +98,8 @@ const std::vector<unsigned>* PairScheme::ErasuresFor(
 bool PairScheme::MarkSymbolErased(unsigned device, unsigned pin, unsigned w,
                                   unsigned position) {
   const auto& g = rank().geometry().device;
-  if (device >= rank().DataDevices() || pin >= g.dq_pins ||
-      w >= cw_per_pin_ || position >= code_.n())
-    throw std::invalid_argument("PairScheme::MarkSymbolErased: out of range");
+  PAIR_CHECK(!(device >= rank().DataDevices() || pin >= g.dq_pins ||
+      w >= cw_per_pin_ || position >= code_.n()), "PairScheme::MarkSymbolErased: out of range");
   auto& list = erasures_[{device, pin, w}];
   for (unsigned p : list)
     if (p == position) return false;  // already registered
@@ -163,7 +160,7 @@ void PairScheme::WriteLine(const dram::Address& addr,
             for (unsigned j = 0; j < kSymbolBits; ++j)
               dev.WriteBit(addr.bank, addr.row,
                            dram::PinLineBit(g, pin, s * kSymbolBits + j),
-                           (new_sym >> j) & 1u);
+                           (static_cast<unsigned>(new_sym) >> j) & 1u);
           }
           if (parity_changed) {
             for (unsigned j = 0; j < config_.check_symbols; ++j) {
@@ -251,7 +248,7 @@ ecc::ReadResult PairScheme::ReadLine(const dram::Address& addr) {
           const Elem v = word[s % code_.k()];
           for (unsigned j = 0; j < kSymbolBits; ++j)
             col_slice.Set((q * kSymbolBits + j) * pins + pin,
-                          (v >> j) & 1u);
+                          (static_cast<unsigned>(v) >> j) & 1u);
         }
       }
     }

@@ -2,12 +2,13 @@
 
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::core {
 
 RasController::RasController(PairScheme& scheme, const RasPolicyConfig& config)
     : scheme_(scheme), config_(config) {
-  if (config_.due_threshold == 0)
-    throw std::invalid_argument("RasController: due_threshold must be > 0");
+  PAIR_CHECK(config_.due_threshold != 0, "RasController: due_threshold must be > 0");
 }
 
 void RasController::Write(const dram::Address& addr,

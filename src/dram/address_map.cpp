@@ -1,5 +1,7 @@
 #include "dram/address_map.hpp"
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::dram {
 
 namespace {
@@ -19,16 +21,14 @@ AddressMapper::AddressMapper(unsigned banks, unsigned rows, unsigned cols,
       cols_(cols),
       interleave_(interleave),
       xor_hash_(xor_bank_hash) {
-  if (!IsPow2(banks) || !IsPow2(rows) || !IsPow2(cols))
-    throw std::invalid_argument("AddressMapper: sizes must be powers of two");
+  PAIR_CHECK(!(!IsPow2(banks) || !IsPow2(rows) || !IsPow2(cols)), "AddressMapper: sizes must be powers of two");
   bank_bits_ = Log2(banks);
   row_bits_ = Log2(rows);
   col_bits_ = Log2(cols);
 }
 
 Address AddressMapper::Map(std::uint64_t line_address) const {
-  if (line_address >= Capacity())
-    throw std::out_of_range("AddressMapper::Map: address beyond capacity");
+  PAIR_CHECK_RANGE(line_address < Capacity(), "AddressMapper::Map: address beyond capacity");
   Address a{};
   std::uint64_t v = line_address;
   switch (interleave_) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::dram {
 
 Device::Device(const DeviceGeometry& geometry) : geom_(geometry) {
@@ -31,14 +33,12 @@ bool Device::PostPackageRepair(unsigned bank, unsigned row) {
 }
 
 unsigned Device::SpareRowsLeft(unsigned bank) const {
-  if (bank >= geom_.banks)
-    throw std::out_of_range("Device::SpareRowsLeft: bank out of range");
+  PAIR_CHECK_RANGE(bank < geom_.banks, "Device::SpareRowsLeft: bank out of range");
   return kSpareRowsPerBank - spares_used_[bank];
 }
 
 void Device::CheckAddress(unsigned bank, unsigned row) const {
-  if (bank >= geom_.banks || row >= geom_.rows_per_bank)
-    throw std::out_of_range("Device: bank/row out of range");
+  PAIR_CHECK_RANGE(!(bank >= geom_.banks || row >= geom_.rows_per_bank), "Device: bank/row out of range");
 }
 
 Device::RowState& Device::GetRow(unsigned bank, unsigned row) {
@@ -53,8 +53,7 @@ const Device::RowState* Device::FindRow(unsigned bank, unsigned row) const {
 }
 
 bool Device::ReadBit(unsigned bank, unsigned row, unsigned bit) const {
-  if (bit >= geom_.TotalRowBits())
-    throw std::out_of_range("Device::ReadBit: bit out of range");
+  PAIR_CHECK_RANGE(bit < geom_.TotalRowBits(), "Device::ReadBit: bit out of range");
   const RowState* state = FindRow(bank, row);
   if (state == nullptr) return false;
   if (!state->stuck.empty()) {
@@ -65,15 +64,13 @@ bool Device::ReadBit(unsigned bank, unsigned row, unsigned bit) const {
 }
 
 void Device::WriteBit(unsigned bank, unsigned row, unsigned bit, bool value) {
-  if (bit >= geom_.TotalRowBits())
-    throw std::out_of_range("Device::WriteBit: bit out of range");
+  PAIR_CHECK_RANGE(bit < geom_.TotalRowBits(), "Device::WriteBit: bit out of range");
   GetRow(bank, row).data.Set(bit, value);
 }
 
 util::BitVec Device::ReadBits(unsigned bank, unsigned row, unsigned offset,
                               unsigned count) const {
-  if (offset + count > geom_.TotalRowBits())
-    throw std::out_of_range("Device::ReadBits: range out of row");
+  PAIR_CHECK_RANGE(!(offset + count > geom_.TotalRowBits()), "Device::ReadBits: range out of row");
   const RowState* state = FindRow(bank, row);
   if (state == nullptr) return util::BitVec(count);
   util::BitVec out = state->data.Slice(offset, count);
@@ -84,37 +81,31 @@ util::BitVec Device::ReadBits(unsigned bank, unsigned row, unsigned offset,
 
 void Device::WriteBits(unsigned bank, unsigned row, unsigned offset,
                        const util::BitVec& bits) {
-  if (offset + bits.size() > geom_.TotalRowBits())
-    throw std::out_of_range("Device::WriteBits: range out of row");
+  PAIR_CHECK_RANGE(!(offset + bits.size() > geom_.TotalRowBits()), "Device::WriteBits: range out of row");
   RowState& state = GetRow(bank, row);
   for (unsigned i = 0; i < bits.size(); ++i)
     state.data.Set(offset + i, bits.Get(i));
 }
 
 util::BitVec Device::ReadColumn(const Address& addr) const {
-  if (addr.col >= geom_.ColumnsPerRow())
-    throw std::out_of_range("Device::ReadColumn: column out of range");
+  PAIR_CHECK_RANGE(addr.col < geom_.ColumnsPerRow(), "Device::ReadColumn: column out of range");
   return ReadBits(addr.bank, addr.row, addr.col * geom_.AccessBits(),
                   geom_.AccessBits());
 }
 
 void Device::WriteColumn(const Address& addr, const util::BitVec& data) {
-  if (addr.col >= geom_.ColumnsPerRow())
-    throw std::out_of_range("Device::WriteColumn: column out of range");
-  if (data.size() != geom_.AccessBits())
-    throw std::invalid_argument("Device::WriteColumn: wrong data width");
+  PAIR_CHECK_RANGE(addr.col < geom_.ColumnsPerRow(), "Device::WriteColumn: column out of range");
+  PAIR_CHECK(data.size() == geom_.AccessBits(), "Device::WriteColumn: wrong data width");
   WriteBits(addr.bank, addr.row, addr.col * geom_.AccessBits(), data);
 }
 
 void Device::InjectFlip(unsigned bank, unsigned row, unsigned bit) {
-  if (bit >= geom_.TotalRowBits())
-    throw std::out_of_range("Device::InjectFlip: bit out of range");
+  PAIR_CHECK_RANGE(bit < geom_.TotalRowBits(), "Device::InjectFlip: bit out of range");
   GetRow(bank, row).data.Flip(bit);
 }
 
 void Device::SetStuck(unsigned bank, unsigned row, unsigned bit, bool value) {
-  if (bit >= geom_.TotalRowBits())
-    throw std::out_of_range("Device::SetStuck: bit out of range");
+  PAIR_CHECK_RANGE(bit < geom_.TotalRowBits(), "Device::SetStuck: bit out of range");
   auto [it, inserted] = GetRow(bank, row).stuck.insert_or_assign(bit, value);
   (void)it;
   if (inserted) ++stuck_count_;

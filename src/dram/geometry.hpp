@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::dram {
 
 /// Geometry of one DRAM device (die). Defaults model a DDR4-style x8 die
@@ -52,11 +54,8 @@ struct DeviceGeometry {
   /// Throws std::invalid_argument when fields are inconsistent (row not a
   /// whole number of column accesses, zero sizes, ...).
   void Validate() const {
-    if (dq_pins == 0 || burst_length == 0 || banks == 0 || rows_per_bank == 0)
-      throw std::invalid_argument("DeviceGeometry: zero-sized field");
-    if (row_bits == 0 || row_bits % AccessBits() != 0)
-      throw std::invalid_argument(
-          "DeviceGeometry: row_bits must be a positive multiple of AccessBits");
+    PAIR_CHECK(!(dq_pins == 0 || burst_length == 0 || banks == 0 || rows_per_bank == 0), "DeviceGeometry: zero-sized field");
+    PAIR_CHECK(!(row_bits == 0 || row_bits % AccessBits() != 0), "DeviceGeometry: row_bits must be a positive multiple of AccessBits");
   }
 };
 
@@ -75,8 +74,7 @@ struct RankGeometry {
 
   void Validate() const {
     device.Validate();
-    if (data_devices == 0)
-      throw std::invalid_argument("RankGeometry: need at least one data device");
+    PAIR_CHECK(data_devices != 0, "RankGeometry: need at least one data device");
   }
 };
 

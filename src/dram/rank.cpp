@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::dram {
 
 Rank::Rank(const RankGeometry& geometry) : geom_(geometry) {
@@ -20,8 +22,7 @@ util::BitVec Rank::ReadLine(const Address& addr) const {
 }
 
 void Rank::WriteLine(const Address& addr, const util::BitVec& line) {
-  if (line.size() != geom_.LineBits())
-    throw std::invalid_argument("Rank::WriteLine: wrong line width");
+  PAIR_CHECK(line.size() == geom_.LineBits(), "Rank::WriteLine: wrong line width");
   const unsigned width = geom_.device.AccessBits();
   for (unsigned d = 0; d < geom_.data_devices; ++d)
     devices_[d]->WriteColumn(addr, line.Slice(d * width, width));
@@ -29,17 +30,15 @@ void Rank::WriteLine(const Address& addr, const util::BitVec& line) {
 
 util::BitVec Rank::DeviceSlice(const util::BitVec& line, unsigned d) const {
   const unsigned width = geom_.device.AccessBits();
-  if (d >= geom_.data_devices || line.size() != geom_.LineBits())
-    throw std::invalid_argument("Rank::DeviceSlice: bad arguments");
+  PAIR_CHECK(!(d >= geom_.data_devices || line.size() != geom_.LineBits()), "Rank::DeviceSlice: bad arguments");
   return line.Slice(d * width, width);
 }
 
 void Rank::SetDeviceSlice(util::BitVec& line, unsigned d,
                           const util::BitVec& slice) const {
   const unsigned width = geom_.device.AccessBits();
-  if (d >= geom_.data_devices || line.size() != geom_.LineBits() ||
-      slice.size() != width)
-    throw std::invalid_argument("Rank::SetDeviceSlice: bad arguments");
+  PAIR_CHECK(!(d >= geom_.data_devices || line.size() != geom_.LineBits() ||
+      slice.size() != width), "Rank::SetDeviceSlice: bad arguments");
   line.Splice(d * width, slice);
 }
 

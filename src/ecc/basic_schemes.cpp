@@ -7,6 +7,8 @@
 #include "ecc/schemes_internal.hpp"
 #include "hamming/hamming.hpp"
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::ecc {
 
 void Scheme::ScrubLine(const dram::Address& addr) {
@@ -89,13 +91,10 @@ class IeccScheme final : public Scheme {
   explicit IeccScheme(dram::Rank& rank)
       : Scheme(rank), code_(hamming::HammingCode::OnDie136()) {
     const auto& g = rank.geometry().device;
-    if (g.row_bits % kWordBits != 0)
-      throw std::invalid_argument("IECC: row must hold whole 128-bit words");
-    if (kWordBits % g.AccessBits() != 0)
-      throw std::invalid_argument("IECC: column access must divide the word");
+    PAIR_CHECK(!(g.row_bits % kWordBits != 0), "IECC: row must hold whole 128-bit words");
+    PAIR_CHECK(!(kWordBits % g.AccessBits() != 0), "IECC: column access must divide the word");
     const unsigned words = g.row_bits / kWordBits;
-    if (words * code_.ParityBits() > g.spare_row_bits)
-      throw std::invalid_argument("IECC: spare region too small for parity");
+    PAIR_CHECK(!(words * code_.ParityBits() > g.spare_row_bits), "IECC: spare region too small for parity");
   }
 
   std::string Name() const override { return "IECC"; }
@@ -193,11 +192,8 @@ class RankSecDedScheme final : public Scheme {
         inner_(std::move(inner)),
         code_(rank.DataDevices() * rank.geometry().device.dq_pins,
               /*extended=*/true) {
-    if (rank.EccDevices() < 1)
-      throw std::invalid_argument("SECDED: rank has no sidecar device");
-    if (code_.ParityBits() > rank.geometry().device.dq_pins)
-      throw std::invalid_argument(
-          "SECDED: parity does not fit the sidecar device's beat width");
+    PAIR_CHECK(rank.EccDevices() >= 1, "SECDED: rank has no sidecar device");
+    PAIR_CHECK(code_.ParityBits() <= rank.geometry().device.dq_pins, "SECDED: parity does not fit the sidecar device's beat width");
   }
 
   std::string Name() const override {

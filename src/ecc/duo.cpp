@@ -19,6 +19,8 @@
 #include "ecc/schemes_internal.hpp"
 #include "rs/rs_code.hpp"
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::ecc {
 namespace {
 
@@ -36,17 +38,12 @@ class DuoScheme final : public Scheme {
                 kSpareSymbols,
             rank.geometry().LineBits() / kSymbolBits)) {
     const auto& g = rank.geometry().device;
-    if (rank.EccDevices() < 1)
-      throw std::invalid_argument("DUO: rank has no sidecar device");
-    if (rank.geometry().LineBits() % kSymbolBits != 0)
-      throw std::invalid_argument("DUO: line not a whole number of symbols");
-    if (kSidecarSymbols * kSymbolBits != g.AccessBits())
-      throw std::invalid_argument("DUO: sidecar column must hold 8 symbols");
-    if (rank.DataDevices() * kSpareBitsPerDevice !=
-        kSpareSymbols * kSymbolBits)
-      throw std::invalid_argument("DUO: spare nibbles must pack 4 symbols");
-    if (g.ColumnsPerRow() * kSpareBitsPerDevice > g.spare_row_bits)
-      throw std::invalid_argument("DUO: spare region too small");
+    PAIR_CHECK(rank.EccDevices() >= 1, "DUO: rank has no sidecar device");
+    PAIR_CHECK(!(rank.geometry().LineBits() % kSymbolBits != 0), "DUO: line not a whole number of symbols");
+    PAIR_CHECK(!(kSidecarSymbols * kSymbolBits != g.AccessBits()), "DUO: sidecar column must hold 8 symbols");
+    PAIR_CHECK(!(rank.DataDevices() * kSpareBitsPerDevice !=
+        kSpareSymbols * kSymbolBits), "DUO: spare nibbles must pack 4 symbols");
+    PAIR_CHECK(!(g.ColumnsPerRow() * kSpareBitsPerDevice > g.spare_row_bits), "DUO: spare region too small");
   }
 
   std::string Name() const override { return "DUO"; }

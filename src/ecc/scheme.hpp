@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "dram/rank.hpp"
@@ -121,6 +122,11 @@ enum class SchemeKind : std::uint8_t {
 };
 
 std::string ToString(SchemeKind kind);
+
+/// Every SchemeKind the factory can build, in declaration order. The single
+/// source of truth for "registered schemes" — pair_lint and parameterised
+/// tests iterate this instead of hand-copying the enum.
+std::span<const SchemeKind> AllSchemeKinds() noexcept;
 
 /// Builds a scheme over `rank`. The rank must have the sidecar devices the
 /// scheme needs (one ECC device for SECDED/XED/DUO variants).

@@ -27,6 +27,8 @@
 #include "ecc/schemes_internal.hpp"
 #include "hamming/hamming.hpp"
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::ecc {
 namespace {
 
@@ -37,12 +39,9 @@ class XedScheme final : public Scheme {
   explicit XedScheme(dram::Rank& rank)
       : Scheme(rank), code_(hamming::HammingCode::OnDie136()) {
     const auto& g = rank.geometry().device;
-    if (rank.EccDevices() < 1)
-      throw std::invalid_argument("XED: rank has no XOR sidecar device");
-    if (g.row_bits % kWordBits != 0 || kWordBits % g.AccessBits() != 0)
-      throw std::invalid_argument("XED: geometry incompatible with 128b words");
-    if ((g.row_bits / kWordBits) * code_.ParityBits() > g.spare_row_bits)
-      throw std::invalid_argument("XED: spare region too small");
+    PAIR_CHECK(rank.EccDevices() >= 1, "XED: rank has no XOR sidecar device");
+    PAIR_CHECK(!(g.row_bits % kWordBits != 0 || kWordBits % g.AccessBits() != 0), "XED: geometry incompatible with 128b words");
+    PAIR_CHECK(!((g.row_bits / kWordBits) * code_.ParityBits() > g.spare_row_bits), "XED: spare region too small");
   }
 
   std::string Name() const override { return "XED"; }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::faults {
 
 std::string ToString(FaultType type) {
@@ -36,8 +38,7 @@ double FaultMix::TotalWeight() const {
 
 FaultType SampleType(const FaultMix& mix, util::Xoshiro256& rng) {
   const double total = mix.TotalWeight();
-  if (total <= 0.0)
-    throw std::invalid_argument("SampleType: fault mix has zero total weight");
+  PAIR_CHECK(total > 0.0, "SampleType: fault mix has zero total weight");
   double draw = rng.UniformDouble() * total;
   for (FaultType t : kAllFaultTypes) {
     draw -= mix.WeightOf(t);
@@ -48,12 +49,10 @@ FaultType SampleType(const FaultMix& mix, util::Xoshiro256& rng) {
 
 Injector::Injector(dram::Rank& rank, std::vector<RowRef> working_set)
     : rank_(rank), rows_(std::move(working_set)) {
-  if (rows_.empty())
-    throw std::invalid_argument("Injector: empty working set");
+  PAIR_CHECK(!(rows_.empty()), "Injector: empty working set");
   const auto& g = rank_.geometry().device;
   for (const auto& r : rows_)
-    if (r.bank >= g.banks || r.row >= g.rows_per_bank)
-      throw std::out_of_range("Injector: working-set row out of range");
+    PAIR_CHECK_RANGE(!(r.bank >= g.banks || r.row >= g.rows_per_bank), "Injector: working-set row out of range");
 }
 
 RowRef Injector::RandomRow(util::Xoshiro256& rng) const {
@@ -150,8 +149,7 @@ void Injector::ApplyPinBurst(InjectedFault& f, util::Xoshiro256& rng) {
   f.bank = where.bank;
   f.row = where.row;
   const unsigned pin = static_cast<unsigned>(rng.UniformBelow(g.dq_pins));
-  if (f.length == 0 || f.length > g.PinLineBits())
-    throw std::invalid_argument("Injector: bad pin-burst length");
+  PAIR_CHECK(!(f.length == 0 || f.length > g.PinLineBits()), "Injector: bad pin-burst length");
   const unsigned start = static_cast<unsigned>(
       rng.UniformBelow(g.PinLineBits() - f.length + 1));
   f.bit = start;

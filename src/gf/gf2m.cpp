@@ -1,7 +1,10 @@
 #include "gf/gf2m.hpp"
 
+#include <ios>
 #include <map>
 #include <mutex>
+
+#include "util/contract.hpp"
 
 namespace pair_ecc::gf {
 
@@ -23,12 +26,12 @@ std::uint32_t DefaultPrimitivePoly(unsigned m) {
     case 15: return 0x8003;   // x^15+x+1
     case 16: return 0x1100B;  // x^16+x^12+x^3+x+1
     default:
-      throw std::invalid_argument("GF(2^m): m must be in [2,16]");
+      PAIR_CHECK(false, "GF(2^m) requires m in [2, 16], got " << m);
   }
 }
 
 GfField::GfField(unsigned m, std::uint32_t poly) : m_(m), poly_(poly) {
-  if (m < 2 || m > 16) throw std::invalid_argument("GF(2^m): m must be in [2,16]");
+  PAIR_CHECK(m >= 2 && m <= 16, "GF(2^m) requires m in [2, 16], got " << m);
   size_ = 1u << m;
   antilog_.assign(size_ - 1, 0);
   log_.assign(size_, 0);
@@ -38,14 +41,16 @@ GfField::GfField(unsigned m, std::uint32_t poly) : m_(m), poly_(poly) {
   for (unsigned i = 0; i < size_ - 1; ++i) {
     if (value >= size_ || (i != 0 && value == 1)) {
       // Cycle shorter than 2^m - 1: poly is not primitive.
-      throw std::invalid_argument("GF(2^m): polynomial is not primitive");
+      PAIR_CHECK(false, "polynomial 0x" << std::hex << poly
+                            << " is not primitive over GF(2)");
     }
     antilog_[i] = static_cast<Elem>(value);
     log_[value] = i;
     value <<= 1;
     if (value & size_) value ^= poly;
   }
-  if (value != 1) throw std::invalid_argument("GF(2^m): polynomial is not primitive");
+  PAIR_CHECK(value == 1, "polynomial 0x" << std::hex << poly
+                             << " is not primitive over GF(2)");
 }
 
 const GfField& GfField::Get(unsigned m) {

@@ -9,8 +9,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <stdexcept>
 #include <vector>
+
+#include "util/contract.hpp"
 
 namespace pair_ecc::gf {
 
@@ -52,16 +53,20 @@ class GfField {
     return antilog_[Mod(log_[a] + log_[b])];
   }
 
-  /// Division a/b. b must be nonzero.
-  Elem Div(Elem a, Elem b) const {
-    if (b == 0) throw std::domain_error("GF division by zero");
+  /// Division a/b. Precondition: b != 0 — checked only by PAIR_DCHECK so
+  /// the decoder hot path stays noexcept and branch-free in release builds
+  /// (callers either guard the divisor or inherit it from a nonzero table
+  /// entry). Division by zero aborts under PAIR_DCHECK builds and is
+  /// undefined otherwise.
+  Elem Div(Elem a, Elem b) const noexcept {
+    PAIR_DCHECK(b != 0, "GF(2^" << m_ << ") division by zero");
     if (a == 0) return 0;
     return antilog_[Mod(log_[a] + Order() - log_[b])];
   }
 
   /// Multiplicative inverse; x must be nonzero.
   Elem Inv(Elem x) const {
-    if (x == 0) throw std::domain_error("GF inverse of zero");
+    PAIR_CHECK(x != 0, "GF(2^" << m_ << ") inverse of zero");
     return antilog_[Mod(Order() - log_[x])];
   }
 
@@ -73,7 +78,7 @@ class GfField {
 
   /// Discrete log base alpha; x must be nonzero.
   unsigned Log(Elem x) const {
-    if (x == 0) throw std::domain_error("GF log of zero");
+    PAIR_CHECK(x != 0, "GF(2^" << m_ << ") log of zero");
     return log_[x];
   }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::hamming {
 
 namespace {
@@ -12,7 +14,7 @@ bool IsPowerOfTwo(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
 
 HammingCode::HammingCode(unsigned k, bool extended)
     : k_(k), extended_(extended) {
-  if (k == 0) throw std::invalid_argument("HammingCode: k must be > 0");
+  PAIR_CHECK(k != 0, "HammingCode: k must be > 0");
 
   // Smallest p with 2^p >= k + p + 1.
   unsigned p = 1;
@@ -40,8 +42,7 @@ HammingCode::HammingCode(unsigned k, bool extended)
 }
 
 util::BitVec HammingCode::Encode(const util::BitVec& data) const {
-  if (data.size() != k_)
-    throw std::invalid_argument("HammingCode::Encode: wrong data length");
+  PAIR_CHECK(data.size() == k_, "HammingCode::Encode: wrong data length");
   util::BitVec cw(n_);
   unsigned syndrome_acc = 0;
   for (unsigned d = 0; d < k_; ++d) {
@@ -70,8 +71,7 @@ unsigned HammingCode::Syndrome(const util::BitVec& word) const {
 }
 
 HammingResult HammingCode::Decode(util::BitVec& word) const {
-  if (word.size() != n_)
-    throw std::invalid_argument("HammingCode::Decode: wrong word length");
+  PAIR_CHECK(word.size() == n_, "HammingCode::Decode: wrong word length");
 
   const unsigned s = Syndrome(word);
   HammingResult result;
@@ -120,8 +120,7 @@ HammingResult HammingCode::Decode(util::BitVec& word) const {
 }
 
 util::BitVec HammingCode::ExtractData(const util::BitVec& word) const {
-  if (word.size() != n_)
-    throw std::invalid_argument("HammingCode::ExtractData: wrong word length");
+  PAIR_CHECK(word.size() == n_, "HammingCode::ExtractData: wrong word length");
   return word.Slice(0, k_);
 }
 

@@ -1,6 +1,6 @@
 #include "rs/poly.hpp"
 
-#include <stdexcept>
+#include "util/contract.hpp"
 
 namespace pair_ecc::rs {
 
@@ -56,7 +56,7 @@ Poly ShiftUp(const Poly& p, unsigned k) {
 
 Poly Mod(const GfField& f, const Poly& a, const Poly& b) {
   const int db = Degree(b);
-  if (db < 0) throw std::domain_error("poly mod by zero");
+  PAIR_CHECK(db >= 0, "polynomial mod by the zero polynomial");
   Poly r = a;
   Normalize(r);
   const Elem lead_inv = f.Inv(b[static_cast<std::size_t>(db)]);

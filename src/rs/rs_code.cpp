@@ -1,17 +1,16 @@
 #include "rs/rs_code.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+
+#include "util/contract.hpp"
 
 namespace pair_ecc::rs {
 
 RsCode::RsCode(const GfField& field, unsigned n, unsigned k)
     : field_(field), n_(n), k_(k) {
-  if (k < 1 || n <= k)
-    throw std::invalid_argument("RsCode: need 1 <= k < n");
-  if (n > field.Order())
-    throw std::invalid_argument("RsCode: n exceeds 2^m - 1");
+  PAIR_CHECK(k >= 1 && n > k, "RsCode needs 1 <= k < n, got (" << n << ", " << k << ")");
+  PAIR_CHECK(n <= field.Order(),
+             "RsCode length " << n << " exceeds 2^m - 1 = " << field.Order());
 
   // g(x) = prod_{i=1..r} (x - alpha^i), narrow-sense.
   generator_ = {1};
@@ -39,8 +38,8 @@ RsCode::RsCode(const GfField& field, unsigned n, unsigned k)
 }
 
 std::vector<Elem> RsCode::ComputeParity(std::span<const Elem> data) const {
-  if (data.size() != k_)
-    throw std::invalid_argument("RsCode::ComputeParity: wrong data length");
+  PAIR_CHECK(data.size() == k_, "ComputeParity expects " << k_
+                                    << " data symbols, got " << data.size());
   // parity(x) = (data(x) * x^r) mod g(x). Accumulate via the precomputed
   // monomial remainders: linear in the number of nonzero data symbols.
   Poly rem(r(), 0);
@@ -65,8 +64,8 @@ std::vector<Elem> RsCode::Encode(std::span<const Elem> data) const {
 }
 
 std::vector<Elem> RsCode::ParityDelta(unsigned data_index, Elem delta) const {
-  if (data_index >= k_)
-    throw std::invalid_argument("RsCode::ParityDelta: index out of range");
+  PAIR_CHECK(data_index < k_, "ParityDelta index " << data_index
+                                  << " out of range for k = " << k_);
   std::vector<Elem> out(r(), 0);
   if (delta == 0) return out;
   const Poly& foot = monomial_rem_[data_index];
@@ -76,7 +75,8 @@ std::vector<Elem> RsCode::ParityDelta(unsigned data_index, Elem delta) const {
 }
 
 std::vector<Elem> RsCode::Syndromes(std::span<const Elem> word) const {
-  assert(word.size() == n_);
+  PAIR_DCHECK(word.size() == n_, "syndrome input length " << word.size()
+                                     << " != n = " << n_);
   // S_j = c(alpha^(j+1)); with codeword index i at degree n-1-i, evaluate by
   // Horner over the word as written (highest degree first).
   std::vector<Elem> syn(r());
@@ -97,15 +97,15 @@ bool RsCode::IsCodeword(std::span<const Elem> word) const {
 
 DecodeResult RsCode::Decode(std::span<Elem> word,
                             std::span<const unsigned> erasures) const {
-  if (word.size() != n_)
-    throw std::invalid_argument("RsCode::Decode: wrong word length");
+  PAIR_CHECK(word.size() == n_, "Decode expects " << n_ << " symbols, got "
+                                                  << word.size());
   for (unsigned e : erasures)
-    if (e >= n_) throw std::invalid_argument("RsCode::Decode: bad erasure index");
+    PAIR_CHECK(e < n_, "erasure index " << e << " out of range for n = " << n_);
 
   for (std::size_t i = 0; i < erasures.size(); ++i)
     for (std::size_t j = i + 1; j < erasures.size(); ++j)
-      if (erasures[i] == erasures[j])
-        throw std::invalid_argument("RsCode::Decode: duplicate erasure index");
+      PAIR_CHECK(erasures[i] != erasures[j],
+                 "duplicate erasure index " << erasures[i]);
 
   DecodeResult result;
   const auto syn = Syndromes(word);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::timing {
 
 Controller::Controller(const TimingParams& params, const SchemeTiming& scheme,
@@ -138,8 +140,7 @@ void Controller::IssuePre(unsigned rank, unsigned bank, std::uint64_t cycle) {
 
 SimStats Controller::Run(Trace& trace) {
   for (const auto& req : trace)
-    if (req.rank >= params_.ranks)
-      throw std::invalid_argument("Controller::Run: request rank out of range");
+    PAIR_CHECK(req.rank < params_.ranks, "Controller::Run: request rank out of range");
 
   SimStats stats;
   std::deque<Request*> queue;

@@ -12,6 +12,8 @@
 
 #include "ecc/scheme.hpp"
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::timing {
 
 struct TimingParams {
@@ -50,14 +52,10 @@ struct TimingParams {
   static TimingParams Ddr4_3200() { return {}; }
 
   void Validate() const {
-    if (banks == 0 || bank_groups == 0 || banks % bank_groups != 0)
-      throw std::invalid_argument("TimingParams: bad bank/group shape");
-    if (ranks == 0)
-      throw std::invalid_argument("TimingParams: need at least one rank");
-    if (tck_ns <= 0.0)
-      throw std::invalid_argument("TimingParams: bad clock period");
-    if (enable_refresh && (tREFI == 0 || tRFC >= tREFI))
-      throw std::invalid_argument("TimingParams: need tRFC < tREFI");
+    PAIR_CHECK(!(banks == 0 || bank_groups == 0 || banks % bank_groups != 0), "TimingParams: bad bank/group shape");
+    PAIR_CHECK(ranks != 0, "TimingParams: need at least one rank");
+    PAIR_CHECK(tck_ns > 0.0, "TimingParams: bad clock period");
+    PAIR_CHECK(!(enable_refresh && (tREFI == 0 || tRFC >= tREFI)), "TimingParams: need tRFC < tREFI");
   }
 };
 

@@ -7,10 +7,11 @@
 // and the fault injector need on their hot paths.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/contract.hpp"
 
 namespace pair_ecc::util {
 
@@ -25,12 +26,12 @@ class BitVec {
   bool empty() const noexcept { return size_ == 0; }
 
   bool Get(std::size_t i) const noexcept {
-    assert(i < size_);
+    PAIR_DCHECK(i < size_, "bit " << i << " out of " << size_);
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
 
   void Set(std::size_t i, bool value) noexcept {
-    assert(i < size_);
+    PAIR_DCHECK(i < size_, "bit " << i << " out of " << size_);
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     if (value) {
       words_[i >> 6] |= mask;
@@ -40,7 +41,7 @@ class BitVec {
   }
 
   void Flip(std::size_t i) noexcept {
-    assert(i < size_);
+    PAIR_DCHECK(i < size_, "bit " << i << " out of " << size_);
     words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
   }
 
@@ -64,7 +65,8 @@ class BitVec {
   /// In-place XOR with another vector of identical size (error injection,
   /// parity accumulation). Asserts on size mismatch.
   BitVec& operator^=(const BitVec& other) noexcept {
-    assert(size_ == other.size_);
+    PAIR_DCHECK(size_ == other.size_,
+                "XOR of " << size_ << "-bit and " << other.size_ << "-bit vectors");
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
     return *this;
   }
@@ -94,7 +96,8 @@ class BitVec {
 
   /// Extracts `count` bits starting at `offset` into a new vector.
   BitVec Slice(std::size_t offset, std::size_t count) const {
-    assert(offset + count <= size_);
+    PAIR_DCHECK(offset + count <= size_,
+                "slice [" << offset << ", " << offset + count << ") out of " << size_);
     BitVec out(count);
     for (std::size_t i = 0; i < count; ++i) out.Set(i, Get(offset + i));
     return out;
@@ -102,14 +105,16 @@ class BitVec {
 
   /// Overwrites bits [offset, offset+src.size()) with `src`.
   void Splice(std::size_t offset, const BitVec& src) {
-    assert(offset + src.size() <= size_);
+    PAIR_DCHECK(offset + src.size() <= size_,
+                "splice [" << offset << ", " << offset + src.size() << ") out of " << size_);
     for (std::size_t i = 0; i < src.size(); ++i) Set(offset + i, src.Get(i));
   }
 
   /// Reads `count` bits (count <= 64) starting at `offset` as an integer,
   /// bit `offset` becoming the least-significant bit.
   std::uint64_t GetWord(std::size_t offset, std::size_t count) const noexcept {
-    assert(count <= 64 && offset + count <= size_);
+    PAIR_DCHECK(count <= 64 && offset + count <= size_,
+                "word access [" << offset << ", +" << count << ") out of " << size_);
     std::uint64_t v = 0;
     for (std::size_t i = 0; i < count; ++i)
       v |= static_cast<std::uint64_t>(Get(offset + i)) << i;
@@ -118,7 +123,8 @@ class BitVec {
 
   /// Writes the low `count` bits of `value` (count <= 64) at `offset`.
   void SetWord(std::size_t offset, std::size_t count, std::uint64_t value) noexcept {
-    assert(count <= 64 && offset + count <= size_);
+    PAIR_DCHECK(count <= 64 && offset + count <= size_,
+                "word access [" << offset << ", +" << count << ") out of " << size_);
     for (std::size_t i = 0; i < count; ++i) Set(offset + i, (value >> i) & 1u);
   }
 

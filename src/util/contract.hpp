@@ -1,0 +1,136 @@
+// Contract-checking macros for the PAIR codebase.
+//
+// Three tiers, replacing the seed's mix of raw assert() and ad-hoc throws:
+//
+//   PAIR_CHECK(cond, msg)        always-on precondition / argument check.
+//                                On failure raises ContractViolation (a
+//                                std::invalid_argument) carrying file:line,
+//                                the failed expression, and `msg`.
+//   PAIR_CHECK_RANGE(cond, msg)  always-on bounds check; raises
+//                                RangeViolation (a std::out_of_range).
+//   PAIR_DCHECK(cond, msg)       debug-build invariant check. Compiled out
+//                                unless PAIR_DCHECK_ENABLED (set by the
+//                                asan-ubsan preset and non-NDEBUG builds).
+//                                Always aborts — never throws — so it is
+//                                safe inside noexcept hot paths.
+//   PAIR_UNREACHABLE(msg)        marks a branch the author proved dead
+//                                (exhaustive switch defaults). Always on;
+//                                raises like PAIR_CHECK.
+//
+// Throw-or-abort is configurable: defining PAIR_CONTRACT_ABORT turns the
+// throwing macros into abort-with-message, which is what you want under a
+// fuzzer (an uncaught throw looks like a crash in the harness, an abort
+// pinpoints the contract). The default is to throw, so callers and tests
+// can observe violations as typed exceptions.
+//
+// `msg` is a stream expression: PAIR_CHECK(i < n, "index " << i << " of " << n).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pair_ecc::util {
+
+/// Raised by PAIR_CHECK / PAIR_UNREACHABLE. Derives std::invalid_argument so
+/// call sites migrated from `throw std::invalid_argument` keep their
+/// observable exception type.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Raised by PAIR_CHECK_RANGE. Derives std::out_of_range for the same reason.
+class RangeViolation : public std::out_of_range {
+ public:
+  explicit RangeViolation(const std::string& what)
+      : std::out_of_range(what) {}
+};
+
+namespace internal {
+
+inline std::string FormatContractMessage(const char* file, int line,
+                                         const char* expr,
+                                         const std::string& msg) {
+  std::ostringstream out;
+  out << file << ":" << line << ": contract `" << expr << "` violated";
+  if (!msg.empty()) out << ": " << msg;
+  return out.str();
+}
+
+[[noreturn]] inline void AbortWithMessage(const std::string& what) noexcept {
+  std::fprintf(stderr, "PAIR contract failure: %s\n", what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <typename Exception>
+[[noreturn]] inline void RaiseOrAbort(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  const std::string what = FormatContractMessage(file, line, expr, msg);
+#if defined(PAIR_CONTRACT_ABORT)
+  AbortWithMessage(what);
+#else
+  throw Exception(what);
+#endif
+}
+
+}  // namespace internal
+}  // namespace pair_ecc::util
+
+// Streams `msg_expr` into a string; evaluated only on failure.
+#define PAIR_INTERNAL_STREAM_MSG(msg_expr) \
+  static_cast<const std::ostringstream&>(std::ostringstream() << msg_expr).str()
+
+#define PAIR_CHECK(cond, msg_expr)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pair_ecc::util::internal::RaiseOrAbort<                             \
+          ::pair_ecc::util::ContractViolation>(                             \
+          __FILE__, __LINE__, #cond, PAIR_INTERNAL_STREAM_MSG(msg_expr));   \
+    }                                                                       \
+  } while (false)
+
+#define PAIR_CHECK_RANGE(cond, msg_expr)                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pair_ecc::util::internal::RaiseOrAbort<                             \
+          ::pair_ecc::util::RangeViolation>(                                \
+          __FILE__, __LINE__, #cond, PAIR_INTERNAL_STREAM_MSG(msg_expr));   \
+    }                                                                       \
+  } while (false)
+
+#define PAIR_UNREACHABLE(msg_expr)                                          \
+  ::pair_ecc::util::internal::RaiseOrAbort<                                 \
+      ::pair_ecc::util::ContractViolation>(                                 \
+      __FILE__, __LINE__, "unreachable", PAIR_INTERNAL_STREAM_MSG(msg_expr))
+
+// PAIR_DCHECK is on when explicitly requested (PAIR_DCHECK_ENABLED, set by
+// the sanitizer presets) or in assert-enabled builds, unless force-disabled.
+#if defined(PAIR_DCHECK_DISABLED)
+#define PAIR_DCHECK_IS_ON 0
+#elif defined(PAIR_DCHECK_ENABLED) || !defined(NDEBUG)
+#define PAIR_DCHECK_IS_ON 1
+#else
+#define PAIR_DCHECK_IS_ON 0
+#endif
+
+#if PAIR_DCHECK_IS_ON
+#define PAIR_DCHECK(cond, msg_expr)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::pair_ecc::util::internal::AbortWithMessage(                         \
+          ::pair_ecc::util::internal::FormatContractMessage(                \
+              __FILE__, __LINE__, #cond,                                    \
+              PAIR_INTERNAL_STREAM_MSG(msg_expr)));                         \
+    }                                                                       \
+  } while (false)
+#else
+#define PAIR_DCHECK(cond, msg_expr) \
+  do {                              \
+  } while (false)
+#endif

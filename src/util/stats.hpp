@@ -5,11 +5,12 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
+
+#include "util/contract.hpp"
 
 namespace pair_ecc::util {
 
@@ -78,7 +79,8 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins)
       : lo_(lo), hi_(hi), counts_(bins, 0) {
-    assert(hi > lo && bins > 0);
+    PAIR_DCHECK(hi > lo && bins > 0,
+                "histogram needs hi > lo and bins > 0");
   }
 
   void Add(double x) noexcept {

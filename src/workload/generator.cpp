@@ -3,6 +3,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace pair_ecc::workload {
 
 std::string ToString(Pattern pattern) {
@@ -17,16 +19,11 @@ std::string ToString(Pattern pattern) {
 }
 
 void WorkloadConfig::Validate() const {
-  if (num_requests == 0 || ranks == 0 || banks == 0 || rows == 0 || cols == 0)
-    throw std::invalid_argument("WorkloadConfig: zero-sized field");
-  if (read_fraction < 0.0 || read_fraction > 1.0)
-    throw std::invalid_argument("WorkloadConfig: read_fraction out of [0,1]");
-  if (intensity <= 0.0 || intensity > 1.0)
-    throw std::invalid_argument("WorkloadConfig: intensity out of (0,1]");
-  if (hot_rows == 0 || hot_rows > rows)
-    throw std::invalid_argument("WorkloadConfig: bad hot_rows");
-  if (pattern == Pattern::kStrided && stride == 0)
-    throw std::invalid_argument("WorkloadConfig: stride must be nonzero");
+  PAIR_CHECK(!(num_requests == 0 || ranks == 0 || banks == 0 || rows == 0 || cols == 0), "WorkloadConfig: zero-sized field");
+  PAIR_CHECK(!(read_fraction < 0.0 || read_fraction > 1.0), "WorkloadConfig: read_fraction out of [0,1]");
+  PAIR_CHECK(!(intensity <= 0.0 || intensity > 1.0), "WorkloadConfig: intensity out of (0,1]");
+  PAIR_CHECK(!(hot_rows == 0 || hot_rows > rows), "WorkloadConfig: bad hot_rows");
+  PAIR_CHECK(!(pattern == Pattern::kStrided && stride == 0), "WorkloadConfig: stride must be nonzero");
 }
 
 timing::Trace Generate(const WorkloadConfig& config) {

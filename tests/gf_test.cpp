@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "gf/gf2m.hpp"
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::gf {
@@ -124,9 +125,40 @@ INSTANTIATE_TEST_SUITE_P(AllFieldSizes, GfFieldParamTest,
 
 TEST(GfField, ZeroHasNoInverse) {
   const auto& f = GfField::Get(8);
-  EXPECT_THROW(f.Inv(0), std::domain_error);
-  EXPECT_THROW(f.Div(5, 0), std::domain_error);
-  EXPECT_THROW(f.Log(0), std::domain_error);
+  EXPECT_THROW(f.Inv(0), util::ContractViolation);
+  EXPECT_THROW(f.Log(0), util::ContractViolation);
+}
+
+#if PAIR_DCHECK_IS_ON
+TEST(GfFieldDeathTest, DivisionByZeroAbortsUnderDchecks) {
+  // Div is a documented noexcept fast path: the b != 0 precondition is
+  // enforced by PAIR_DCHECK (abort), not an exception, so the decoder's
+  // inner loop carries no throw machinery.
+  const auto& f = GfField::Get(8);
+  EXPECT_DEATH(f.Div(5, 0), "division by zero");
+}
+#endif
+
+TEST(GfField, DivisionIsTotalOverNonzeroDivisorsGf16) {
+  // Exhaustive over GF(2^4): for every a and every b != 0, a/b is the unique
+  // field element q with q*b == a, and the Div/Inv/Mul identities hold.
+  // This is the property coverage backing Div's unchecked fast path.
+  const auto& f = GfField::Get(4);
+  for (unsigned a = 0; a < f.Size(); ++a) {
+    for (unsigned b = 1; b < f.Size(); ++b) {
+      const auto ea = static_cast<Elem>(a);
+      const auto eb = static_cast<Elem>(b);
+      const Elem q = f.Div(ea, eb);
+      EXPECT_EQ(f.Mul(q, eb), ea) << "a=" << a << " b=" << b;
+      EXPECT_EQ(f.Mul(ea, f.Inv(eb)), q) << "a=" << a << " b=" << b;
+      // Uniqueness: q is the only solution of x*b == a.
+      for (unsigned x = 0; x < f.Size(); ++x) {
+        if (x == q) continue;
+        EXPECT_NE(f.Mul(static_cast<Elem>(x), eb), ea)
+            << "a=" << a << " b=" << b << " x=" << x;
+      }
+    }
+  }
 }
 
 TEST(GfField, PowOfZero) {

@@ -248,6 +248,62 @@ TEST(ProtocolChecker, FlagsActToOpenBank) {
   EXPECT_NE(checker.violations()[0].find("open bank"), std::string::npos);
 }
 
+TEST(ProtocolChecker, DoubleActViolationIsDiagnosable) {
+  // The violation string must carry enough to localise the bug: command,
+  // rank, bank, cycle, and the rule name.
+  TimingParams t;
+  ProtocolChecker checker(t);
+  checker.OnCommand(Cmd::kAct, 0, 3, 1, 50);
+  checker.OnCommand(Cmd::kAct, 0, 3, 2, 5000);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  const std::string& v = checker.violations()[0];
+  EXPECT_NE(v.find("ACT"), std::string::npos) << v;
+  EXPECT_NE(v.find("bank 3"), std::string::npos) << v;
+  EXPECT_NE(v.find("@5000"), std::string::npos) << v;
+  EXPECT_NE(v.find("open bank"), std::string::npos) << v;
+}
+
+TEST(ProtocolChecker, FlagsTccdViolation) {
+  // Two CAS commands to the same bank group closer than tCCD_L.
+  TimingParams t;
+  ProtocolChecker checker(t);
+  checker.OnCommand(Cmd::kAct, 0, 0, 1, 0);
+  const std::uint64_t first = t.tRCD;
+  checker.OnCommand(Cmd::kRead, 0, 0, 1, first, first + t.tCL,
+                    first + t.tCL + t.tBL);
+  const std::uint64_t second = first + t.tCCD_L - 1;
+  checker.OnCommand(Cmd::kRead, 0, 0, 1, second, second + t.tCL + 64,
+                    second + t.tCL + 64 + t.tBL);
+  bool saw = false;
+  for (const auto& v : checker.violations())
+    saw |= v.find("tCCD") != std::string::npos;
+  EXPECT_TRUE(saw) << (checker.violations().empty()
+                           ? "no violations recorded"
+                           : checker.violations().front());
+  // Same pair spaced exactly tCCD_L apart is legal.
+  ProtocolChecker clean(t);
+  clean.OnCommand(Cmd::kAct, 0, 0, 1, 0);
+  clean.OnCommand(Cmd::kRead, 0, 0, 1, first, first + t.tCL,
+                  first + t.tCL + t.tBL);
+  const std::uint64_t legal = first + t.tCCD_L;
+  clean.OnCommand(Cmd::kRead, 0, 0, 1, legal, legal + t.tCL,
+                  legal + t.tCL + t.tBL);
+  EXPECT_TRUE(clean.violations().empty())
+      << clean.violations().front();
+}
+
+TEST(ProtocolChecker, FlagsPrechargeBeforeAct) {
+  // PRE to a bank that was never activated: no row to close.
+  TimingParams t;
+  ProtocolChecker checker(t);
+  checker.OnCommand(Cmd::kPre, 0, 2, 0, 100);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  const std::string& v = checker.violations()[0];
+  EXPECT_NE(v.find("PRE"), std::string::npos) << v;
+  EXPECT_NE(v.find("closed bank"), std::string::npos) << v;
+  EXPECT_NE(v.find("bank 2"), std::string::npos) << v;
+}
+
 TEST(ProtocolChecker, FlagsTrcdViolation) {
   TimingParams t;
   ProtocolChecker checker(t);

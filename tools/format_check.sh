@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Verifies that all first-party C++ sources match .clang-format.
+# Exits 0 when clean (or when clang-format is unavailable, with a notice),
+# 1 with the offending file list otherwise. Run from anywhere in the repo.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not installed; skipping (install it to enforce)"
+  exit 0
+fi
+
+files=$(find src tools tests bench examples \
+             -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
+
+status=0
+for f in $files; do
+  if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format_check: all files clean"
+fi
+exit "$status"

@@ -1,0 +1,486 @@
+// pair_lint — domain-specific lint + property harness for the PAIR codecs.
+//
+// Machine-checks the contracts the whole reliability study rests on, the
+// class of silent-miscorrection bugs BEER showed are endemic to on-die ECC:
+//
+//   gf       log/antilog bijectivity and the Mul/Div/Inv field axioms for
+//            every supported m in [2, 16] (exhaustive pairs for m <= 8,
+//            seeded sampling above);
+//   rs       generator-polynomial root structure (g(alpha^i) == 0 exactly
+//            for the design roots), encode/parity-delta consistency, and
+//            encode -> inject(<= t symbol errors) -> decode exact-roundtrip
+//            for representative (n, k) configurations;
+//   schemes  encode -> inject(within budget) -> decode exact roundtrip for
+//            every scheme the factory registers (AllSchemeKinds), including
+//            PAIR's two-flip-per-device containment guarantee;
+//   perf     PerfDescriptor parity-consistency: storage overheads match the
+//            parity each scheme actually allocates, bus-beat claims match
+//            where the parity lives, RMW claims match write-path width.
+//
+// Deterministic: all randomness derives from --seed (default 1). Exit 0 on
+// success; nonzero with one line per violated contract. Registered as ctest
+// cases (one per check) by tools/CMakeLists.txt.
+//
+// Usage: pair_lint [--check=gf|rs|schemes|perf|all] [--seed=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pair_scheme.hpp"
+#include "dram/rank.hpp"
+#include "ecc/scheme.hpp"
+#include "gf/gf2m.hpp"
+#include "rs/rs_code.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc {
+namespace {
+
+using dram::Address;
+using dram::Rank;
+using dram::RankGeometry;
+using gf::Elem;
+using gf::GfField;
+using util::BitVec;
+using util::Xoshiro256;
+
+/// Collects failures; each is one self-contained diagnostic line.
+class Report {
+ public:
+  std::ostringstream& Fail() {
+    ++failures_;
+    if (!buffer_.str().empty()) buffer_ << '\n';
+    return buffer_;
+  }
+  unsigned failures() const { return failures_; }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  unsigned failures_ = 0;
+  std::ostringstream buffer_;
+};
+
+// --------------------------------------------------------------------- gf
+
+void CheckOneField(const GfField& f, std::uint64_t seed, Report& report) {
+  const unsigned m = f.m();
+  const unsigned size = f.Size();
+
+  // Bijectivity: alpha^i for i in [0, 2^m - 1) hits every nonzero element
+  // exactly once, and Log inverts it.
+  std::vector<unsigned> hits(size, 0);
+  for (unsigned i = 0; i < f.Order(); ++i) {
+    const Elem v = f.AlphaPow(i);
+    if (v == 0 || v >= size) {
+      report.Fail() << "gf(m=" << m << "): alpha^" << i
+                    << " = " << v << " outside (0, 2^m)";
+      return;
+    }
+    ++hits[v];
+    if (f.Log(v) != i) {
+      report.Fail() << "gf(m=" << m << "): Log(alpha^" << i
+                    << ") = " << f.Log(v) << " != " << i;
+      return;
+    }
+  }
+  for (unsigned v = 1; v < size; ++v) {
+    if (hits[v] != 1) {
+      report.Fail() << "gf(m=" << m << "): element " << v << " hit "
+                    << hits[v] << " times by the antilog table (want 1)";
+      return;
+    }
+  }
+
+  // Field axioms over (a, b) pairs: exhaustive when feasible, seeded sample
+  // otherwise. Division is checked only against nonzero divisors — its
+  // b != 0 precondition is the documented noexcept fast path.
+  const bool exhaustive = m <= 8;
+  Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ull * m));
+  const unsigned samples = 20000;
+  unsigned bad = 0;
+  auto check_pair = [&](Elem a, Elem b) {
+    if (f.Mul(a, b) != f.Mul(b, a)) {
+      report.Fail() << "gf(m=" << m << "): Mul not commutative at (" << a
+                    << ", " << b << ")";
+      ++bad;
+    }
+    if (f.Mul(a, 1) != a || f.Mul(a, 0) != 0) {
+      report.Fail() << "gf(m=" << m << "): identity/absorber broken at " << a;
+      ++bad;
+    }
+    if (b != 0) {
+      const Elem q = f.Div(f.Mul(a, b), b);
+      if (q != a) {
+        report.Fail() << "gf(m=" << m << "): Div(Mul(" << a << ", " << b
+                      << "), " << b << ") = " << q << " != " << a;
+        ++bad;
+      }
+      if (f.Mul(b, f.Inv(b)) != 1) {
+        report.Fail() << "gf(m=" << m << "): Mul(" << b << ", Inv(" << b
+                      << ")) != 1";
+        ++bad;
+      }
+      if (f.Div(a, b) != f.Mul(a, f.Inv(b))) {
+        report.Fail() << "gf(m=" << m << "): Div(" << a << ", " << b
+                      << ") != Mul(a, Inv(b))";
+        ++bad;
+      }
+    }
+  };
+  if (exhaustive) {
+    for (unsigned a = 0; a < size && bad < 5; ++a)
+      for (unsigned b = 0; b < size && bad < 5; ++b)
+        check_pair(static_cast<Elem>(a), static_cast<Elem>(b));
+  } else {
+    for (unsigned i = 0; i < samples && bad < 5; ++i)
+      check_pair(static_cast<Elem>(rng.UniformBelow(size)),
+                 static_cast<Elem>(rng.UniformBelow(size)));
+  }
+}
+
+void CheckGf(std::uint64_t seed, Report& report) {
+  for (unsigned m = 2; m <= 16; ++m)
+    CheckOneField(GfField::Get(m), seed, report);
+}
+
+// --------------------------------------------------------------------- rs
+
+struct RsConfig {
+  unsigned m, n, k;
+};
+
+constexpr RsConfig kRsConfigs[] = {
+    {4, 15, 11}, {4, 15, 7},   {8, 34, 32},  {8, 68, 64},
+    {8, 76, 64}, {8, 255, 223}, {10, 100, 90},
+};
+
+void CheckOneRsCode(const RsConfig& cfg, std::uint64_t seed, Report& report) {
+  const auto& f = GfField::Get(cfg.m);
+  const rs::RsCode code(f, cfg.n, cfg.k);
+  std::ostringstream tag;
+  tag << "rs(m=" << cfg.m << ", n=" << cfg.n << ", k=" << cfg.k << ")";
+
+  // Generator structure: monic of degree r with roots exactly at
+  // alpha^1 .. alpha^r (narrow-sense design distance).
+  const rs::Poly& g = code.Generator();
+  if (rs::Degree(g) != static_cast<int>(code.r())) {
+    report.Fail() << tag.str() << ": generator degree " << rs::Degree(g)
+                  << " != r = " << code.r();
+    return;
+  }
+  if (g.back() != 1) {
+    report.Fail() << tag.str() << ": generator not monic";
+  }
+  for (unsigned i = 0; i <= code.r() + 1; ++i) {
+    const Elem at_root = rs::Eval(f, g, f.AlphaPow(i));
+    const bool is_design_root = i >= 1 && i <= code.r();
+    if (is_design_root && at_root != 0) {
+      report.Fail() << tag.str() << ": g(alpha^" << i << ") = " << at_root
+                    << ", expected 0 (design root)";
+    }
+    if (!is_design_root && at_root == 0) {
+      report.Fail() << tag.str() << ": g(alpha^" << i
+                    << ") = 0, but alpha^" << i << " is not a design root";
+    }
+  }
+
+  Xoshiro256 rng(seed ^ (cfg.n * 131ull + cfg.k));
+  auto random_data = [&] {
+    std::vector<Elem> data(code.k());
+    for (auto& d : data) d = static_cast<Elem>(rng.UniformBelow(f.Size()));
+    return data;
+  };
+
+  for (unsigned trial = 0; trial < 50; ++trial) {
+    const auto data = random_data();
+    auto cw = code.Encode(data);
+    if (!code.IsCodeword(cw)) {
+      report.Fail() << tag.str() << ": Encode output fails the syndrome check";
+      return;
+    }
+
+    // Delta-parity consistency: changing one data symbol and XOR-ing in
+    // ParityDelta must land on the re-encoded codeword. This is PAIR's
+    // RMW-free write path.
+    const auto idx = static_cast<unsigned>(rng.UniformBelow(code.k()));
+    const auto nv = static_cast<Elem>(rng.UniformBelow(f.Size()));
+    auto changed = data;
+    changed[idx] = nv;
+    const auto delta =
+        code.ParityDelta(idx, static_cast<Elem>(data[idx] ^ nv));
+    auto patched = cw;
+    patched[idx] = nv;
+    for (unsigned j = 0; j < code.r(); ++j)
+      patched[code.k() + j] ^= delta[j];
+    if (patched != code.Encode(changed)) {
+      report.Fail() << tag.str() << ": ParityDelta(" << idx
+                    << ") disagrees with re-encoding";
+      return;
+    }
+
+    // Roundtrip: e symbol errors with e <= t must decode to the original.
+    const auto e = static_cast<unsigned>(1 + rng.UniformBelow(code.t()));
+    auto received = cw;
+    std::vector<unsigned> positions;
+    while (positions.size() < e) {
+      const auto pos = static_cast<unsigned>(rng.UniformBelow(code.n()));
+      bool dup = false;
+      for (unsigned p : positions) dup |= p == pos;
+      if (dup) continue;
+      positions.push_back(pos);
+      received[pos] = static_cast<Elem>(
+          received[pos] ^ (1 + rng.UniformBelow(f.Size() - 1)));
+    }
+    const auto result = code.Decode(received);
+    if (result.status != rs::DecodeStatus::kCorrected || received != cw) {
+      report.Fail() << tag.str() << ": " << e
+                    << " symbol errors (<= t = " << code.t()
+                    << ") not exactly corrected, trial " << trial;
+      return;
+    }
+  }
+
+  // Expandability: the sibling code keeps the generator (same redundancy).
+  if (code.MaxK() > code.k()) {
+    const rs::RsCode wide = code.Expanded(code.MaxK());
+    if (wide.Generator() != code.Generator()) {
+      report.Fail() << tag.str()
+                    << ": Expanded() changed the generator polynomial";
+    }
+  }
+}
+
+void CheckRs(std::uint64_t seed, Report& report) {
+  for (const auto& cfg : kRsConfigs) CheckOneRsCode(cfg, seed, report);
+}
+
+// ---------------------------------------------------------------- schemes
+
+void CheckOneScheme(ecc::SchemeKind kind, std::uint64_t seed, Report& report) {
+  const std::string name = ecc::ToString(kind);
+  RankGeometry rg;
+  Rank rank(rg);
+  auto scheme = ecc::MakeScheme(kind, rank);
+  Xoshiro256 rng(seed ^ (0xABCDull + static_cast<unsigned>(kind)));
+
+  // Clean encode -> decode roundtrip across scattered columns.
+  for (unsigned trial = 0; trial < 20; ++trial) {
+    const Address addr{static_cast<unsigned>(rng.UniformBelow(4)),
+                       static_cast<unsigned>(rng.UniformBelow(64)),
+                       static_cast<unsigned>(rng.UniformBelow(128))};
+    const BitVec line = BitVec::Random(rg.LineBits(), rng);
+    scheme->WriteLine(addr, line);
+    const auto r = scheme->ReadLine(addr);
+    if (r.claim != ecc::Claim::kClean || !(r.data == line)) {
+      report.Fail() << "schemes(" << name
+                    << "): clean roundtrip failed at trial " << trial;
+      return;
+    }
+  }
+
+  // Error budget: every ECC scheme guarantees one flipped bit inside the
+  // addressed column is corrected and the delivered line is bit-exact.
+  if (kind != ecc::SchemeKind::kNoEcc) {
+    for (unsigned trial = 0; trial < 30; ++trial) {
+      const Address addr{0, 5, static_cast<unsigned>(rng.UniformBelow(128))};
+      const BitVec line = BitVec::Random(rg.LineBits(), rng);
+      scheme->WriteLine(addr, line);
+      const auto dev = static_cast<unsigned>(rng.UniformBelow(8));
+      const unsigned bit =
+          addr.col * 64 + static_cast<unsigned>(rng.UniformBelow(64));
+      rank.device(dev).InjectFlip(addr.bank, addr.row, bit);
+      const auto r = scheme->ReadLine(addr);
+      if (r.claim != ecc::Claim::kCorrected || !(r.data == line)) {
+        report.Fail() << "schemes(" << name << "): single-bit fault (dev "
+                      << dev << ", bit " << bit
+                      << ") not exactly corrected, trial " << trial;
+        return;
+      }
+      rank.device(dev).InjectFlip(addr.bank, addr.row, bit);  // undo
+    }
+  }
+
+  // PAIR t=2: any two flips within one device's row are contained (each
+  // codeword is pin-aligned, so two flips touch at most two symbols of the
+  // codewords covering the addressed column).
+  if (kind == ecc::SchemeKind::kPair4 ||
+      kind == ecc::SchemeKind::kPair4SecDed) {
+    for (unsigned trial = 0; trial < 30; ++trial) {
+      const Address addr{1, 9, static_cast<unsigned>(rng.UniformBelow(128))};
+      const BitVec line = BitVec::Random(rg.LineBits(), rng);
+      scheme->WriteLine(addr, line);
+      const auto dev = static_cast<unsigned>(rng.UniformBelow(8));
+      const auto a = static_cast<unsigned>(rng.UniformBelow(8192));
+      auto b = static_cast<unsigned>(rng.UniformBelow(8192));
+      while (b == a) b = static_cast<unsigned>(rng.UniformBelow(8192));
+      rank.device(dev).InjectFlip(addr.bank, addr.row, a);
+      rank.device(dev).InjectFlip(addr.bank, addr.row, b);
+      const auto r = scheme->ReadLine(addr);
+      if (r.claim == ecc::Claim::kDetected || !(r.data == line)) {
+        report.Fail() << "schemes(" << name << "): two flips (dev " << dev
+                      << ", bits " << a << "/" << b
+                      << ") escaped the t=2 budget, trial " << trial;
+        return;
+      }
+      rank.device(dev).InjectFlip(addr.bank, addr.row, a);
+      rank.device(dev).InjectFlip(addr.bank, addr.row, b);
+    }
+  }
+}
+
+void CheckSchemes(std::uint64_t seed, Report& report) {
+  for (ecc::SchemeKind kind : ecc::AllSchemeKinds())
+    CheckOneScheme(kind, seed, report);
+}
+
+// ------------------------------------------------------------------- perf
+
+void CheckPerf(std::uint64_t, Report& report) {
+  RankGeometry rg;
+
+  auto perf_of = [&rg](ecc::SchemeKind kind) {
+    Rank rank(rg);
+    return ecc::MakeScheme(kind, rank)->Perf();
+  };
+
+  for (ecc::SchemeKind kind : ecc::AllSchemeKinds()) {
+    const std::string name = ecc::ToString(kind);
+    const ecc::PerfDescriptor p = perf_of(kind);
+    if (p.storage_overhead < 0.0 || p.storage_overhead > 1.0)
+      report.Fail() << "perf(" << name << "): storage overhead "
+                    << p.storage_overhead << " outside [0, 1]";
+    if (p.read_decode_ns < 0.0 || p.write_encode_ns < 0.0)
+      report.Fail() << "perf(" << name << "): negative latency claim";
+    if (p.extra_read_beats > 2 || p.extra_write_beats > 2)
+      report.Fail() << "perf(" << name
+                    << "): implausible extra burst beats";
+  }
+
+  // No-ECC is the zero of the descriptor space.
+  const auto none = perf_of(ecc::SchemeKind::kNoEcc);
+  if (none.storage_overhead != 0.0 || none.extra_read_beats != 0 ||
+      none.write_rmw || none.read_decode_ns != 0.0)
+    report.Fail() << "perf(No_ECC): nonzero overhead claimed";
+
+  // Parity placement vs bus-beat claims: on-die parity (IECC, PAIR) never
+  // crosses the bus; DUO ships spare-resident symbols and must pay beats.
+  for (auto kind : {ecc::SchemeKind::kIecc, ecc::SchemeKind::kPair2,
+                    ecc::SchemeKind::kPair4}) {
+    const auto p = perf_of(kind);
+    if (p.extra_read_beats != 0 || p.extra_write_beats != 0)
+      report.Fail() << "perf(" << ecc::ToString(kind)
+                    << "): on-die parity must not add bus beats";
+  }
+  const auto duo = perf_of(ecc::SchemeKind::kDuo);
+  if (duo.extra_read_beats == 0)
+    report.Fail() << "perf(DUO): shipped redundancy claims zero extra beats";
+
+  // Write-path width vs RMW claims: sub-codeword writes force RMW for the
+  // conventional on-die stack; PAIR's delta-parity write path must not.
+  for (auto kind : {ecc::SchemeKind::kIecc, ecc::SchemeKind::kIeccSecDed,
+                    ecc::SchemeKind::kXed}) {
+    if (!perf_of(kind).write_rmw)
+      report.Fail() << "perf(" << ecc::ToString(kind)
+                    << "): conventional IECC write path must claim RMW";
+  }
+  for (auto kind : {ecc::SchemeKind::kPair2, ecc::SchemeKind::kPair4,
+                    ecc::SchemeKind::kPair4SecDed}) {
+    if (perf_of(kind).write_rmw)
+      report.Fail() << "perf(" << ecc::ToString(kind)
+                    << "): PAIR's delta-parity write path claims RMW";
+  }
+
+  // Storage claims must equal the parity the scheme actually allocates.
+  auto expect_overhead = [&report, &perf_of](ecc::SchemeKind kind,
+                                             double expected) {
+    const double got = perf_of(kind).storage_overhead;
+    if (got < expected - 1e-9 || got > expected + 1e-9)
+      report.Fail() << "perf(" << ecc::ToString(kind)
+                    << "): storage overhead " << got << " != allocated "
+                    << expected;
+  };
+  expect_overhead(ecc::SchemeKind::kIecc, 8.0 / 128.0);
+  expect_overhead(ecc::SchemeKind::kSecDed, 8.0 / 64.0);
+  expect_overhead(ecc::SchemeKind::kIeccSecDed, 8.0 / 128.0 + 8.0 / 64.0);
+  expect_overhead(ecc::SchemeKind::kPair2, 2.0 / 32.0);
+  expect_overhead(ecc::SchemeKind::kPair4, 4.0 / 64.0);
+  expect_overhead(ecc::SchemeKind::kPair4SecDed, 4.0 / 64.0 + 8.0 / 64.0);
+}
+
+// ------------------------------------------------------------------ main
+
+struct Check {
+  const char* name;
+  void (*fn)(std::uint64_t, Report&);
+};
+
+constexpr Check kChecks[] = {
+    {"gf", CheckGf},
+    {"rs", CheckRs},
+    {"schemes", CheckSchemes},
+    {"perf", CheckPerf},
+};
+
+int Run(const std::string& which, std::uint64_t seed) {
+  unsigned total_failures = 0;
+  bool matched = false;
+  for (const auto& check : kChecks) {
+    if (which != "all" && which != check.name) continue;
+    matched = true;
+    Report report;
+    check.fn(seed, report);
+    if (report.failures() == 0) {
+      std::cout << "[pair_lint] " << check.name << ": OK\n";
+    } else {
+      std::cout << "[pair_lint] " << check.name << ": "
+                << report.failures() << " contract violation(s)\n"
+                << report.text() << "\n";
+      total_failures += report.failures();
+    }
+  }
+  if (!matched) {
+    std::cerr << "pair_lint: unknown check '" << which
+              << "' (want gf|rs|schemes|perf|all)\n";
+    return 2;
+  }
+  return total_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pair_ecc
+
+int main(int argc, char** argv) {
+  std::string which = "all";
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--check=", 0) == 0) {
+      which = arg.substr(8);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      const char* value = arg.c_str() + 7;
+      char* end = nullptr;
+      seed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::cerr << "pair_lint: bad --seed value '" << value
+                  << "' (want an unsigned integer)\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: pair_lint [--check=gf|rs|schemes|perf|all] "
+                   "[--seed=N]\n";
+      return 2;
+    }
+  }
+  try {
+    return pair_ecc::Run(which, seed);
+  } catch (const std::exception& e) {
+    std::cerr << "pair_lint: uncaught contract violation: " << e.what()
+              << "\n";
+    return 1;
+  }
+}
