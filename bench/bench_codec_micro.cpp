@@ -5,6 +5,8 @@
 // the reproduction runs), not claims about DRAM hardware.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/pair_scheme.hpp"
 #include "dram/rank.hpp"
 #include "ecc/scheme.hpp"
@@ -13,6 +15,50 @@
 #include "timing/controller.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
+
+#ifdef PAIR_ALLOC_COUNTER
+// Global operator new/delete instrumentation (build with
+// -DPAIR_ALLOC_COUNTER=ON). Counts every heap allocation in the process so
+// the scratch-decode benchmark can report allocations-per-decode and prove
+// the RS steady state allocates nothing.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // PAIR_ALLOC_COUNTER
 
 namespace {
 
@@ -57,6 +103,36 @@ void BM_RsDecodeClean(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RsDecodeClean);
+
+// The steady-state hot path the trial engine runs: clean decode through a
+// reusable DecodeScratch. With PAIR_ALLOC_COUNTER=ON the "allocs_per_decode"
+// counter proves the warm path allocates nothing.
+void BM_RsDecodeCleanScratch(benchmark::State& state) {
+  const auto code = rs::RsCode::Gf256(68, 64);
+  util::Xoshiro256 rng(3);
+  std::vector<gf::Elem> data(code.k());
+  for (auto& s : data) s = static_cast<gf::Elem>(rng.UniformBelow(256));
+  auto word = code.Encode(data);
+  rs::DecodeScratch scratch;
+  // Warm the scratch: the first call sizes its buffers.
+  code.Decode(std::span<gf::Elem>(word), {}, scratch);
+#ifdef PAIR_ALLOC_COUNTER
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  for (auto _ : state) {
+    auto status = code.Decode(std::span<gf::Elem>(word), {}, scratch);
+    benchmark::DoNotOptimize(status);
+  }
+#ifdef PAIR_ALLOC_COUNTER
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_decode"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1)));
+#endif
+}
+BENCHMARK(BM_RsDecodeCleanScratch);
 
 void BM_RsDecodeErrors(benchmark::State& state) {
   const auto code = rs::RsCode::Gf256(68, 64);

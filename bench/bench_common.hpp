@@ -19,6 +19,19 @@ namespace pair_ecc::bench {
 
 inline constexpr std::uint64_t kBenchSeed = 0xB0A7ull;
 
+/// Trials per scenario: the binary's hardcoded default, overridable with the
+/// PAIR_TRIALS environment variable (for quick smoke runs or high-precision
+/// sweeps without a rebuild). Unparsable or zero values fall back.
+inline unsigned TrialsFromEnv(unsigned fallback) {
+  const char* env = std::getenv("PAIR_TRIALS");
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0 || v > 0xFFFFFFFFul)
+    return fallback;
+  return static_cast<unsigned>(v);
+}
+
 /// The scheme line-up most experiments compare (order = table order).
 inline std::vector<ecc::SchemeKind> ComparedSchemes() {
   return {ecc::SchemeKind::kIecc, ecc::SchemeKind::kSecDed,

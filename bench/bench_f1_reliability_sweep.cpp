@@ -15,7 +15,7 @@ using namespace pair_ecc;
 int main() {
   bench::PrintHeader("F1", "reliability vs inherent fault rate (mix: field)");
 
-  constexpr unsigned kTrials = 500;
+  const unsigned kTrials = bench::TrialsFromEnv(500);
   constexpr unsigned kMaxFaults = 4;
   const double lambdas[] = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
 

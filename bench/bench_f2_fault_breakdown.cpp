@@ -29,7 +29,7 @@ faults::FaultMix PureMix(faults::FaultType type) {
 int main() {
   bench::PrintHeader("F2", "outcome breakdown per fault class (1 fault/trial)");
 
-  constexpr unsigned kTrials = 400;
+  const unsigned kTrials = bench::TrialsFromEnv(400);
   const faults::FaultType classes[] = {
       faults::FaultType::kSingleBit, faults::FaultType::kSingleWord,
       faults::FaultType::kSinglePin, faults::FaultType::kSingleRow,

@@ -40,7 +40,7 @@ int main() {
       {"cell-only, 4 faults", faults::FaultMix::CellOnly(), 4},
       {"clustered, 2 faults", faults::FaultMix::Clustered(), 2},
   };
-  constexpr unsigned kTrials = 1500;
+  const unsigned kTrials = bench::TrialsFromEnv(1500);
 
   util::Table t({"scenario", "scheme", "P(SDC)/trial", "P(fail)/trial",
                  "PAIR-4 SDC advantage"});

@@ -29,6 +29,9 @@ PairScheme::PairScheme(dram::Rank& rank, const PairConfig& config)
   const unsigned parity_bits =
       g.dq_pins * cw_per_pin_ * config_.check_symbols * kSymbolBits;
   PAIR_CHECK(parity_bits <= g.spare_row_bits, "PAIR: spare region too small for parity");
+  word_.resize(code_.n());
+  parity_.resize(config_.check_symbols);
+  pdelta_.resize(config_.check_symbols);
 }
 
 ecc::PerfDescriptor PairScheme::Perf() const {
@@ -54,8 +57,16 @@ unsigned PairScheme::ParityBitOffset(unsigned pin, unsigned w,
 std::vector<Elem> PairScheme::AssembleCodeword(const util::BitVec& row_image,
                                                unsigned pin,
                                                unsigned w) const {
+  std::vector<Elem> word;
+  AssembleCodewordInto(row_image, pin, w, word);
+  return word;
+}
+
+void PairScheme::AssembleCodewordInto(const util::BitVec& row_image,
+                                      unsigned pin, unsigned w,
+                                      std::vector<Elem>& word) const {
   const auto& g = rank().geometry().device;
-  std::vector<Elem> word(code_.n());
+  word.resize(code_.n());
   for (unsigned i = 0; i < code_.k(); ++i) {
     const unsigned s = w * code_.k() + i;
     Elem v = 0;
@@ -67,7 +78,6 @@ std::vector<Elem> PairScheme::AssembleCodeword(const util::BitVec& row_image,
   for (unsigned j = 0; j < config_.check_symbols; ++j)
     word[code_.k() + j] = static_cast<Elem>(
         row_image.GetWord(ParityBitOffset(pin, w, j), kSymbolBits));
-  return word;
 }
 
 void PairScheme::StoreCodeword(unsigned device, unsigned bank, unsigned row,
@@ -123,7 +133,7 @@ void PairScheme::WriteLine(const dram::Address& addr,
       const unsigned w0 = s0 / code_.k();
       const unsigned w1 = (s0 + subsymbols_per_col_ - 1) / code_.k();
       for (unsigned w = w0; w <= w1; ++w) {
-        auto word = AssembleCodeword(row_image, pin, w);
+        AssembleCodewordInto(row_image, pin, w, word_);
 
         // Fast path: if the covering codeword is currently consistent, the
         // parity moves by the precomputed per-symbol delta — no decode, no
@@ -135,10 +145,11 @@ void PairScheme::WriteLine(const dram::Address& addr,
         // reuses the read datapath and errors are rare, so the slow path
         // is off the performance model (scrub_on_write forces it always,
         // with the RMW timing cost, as the F6 ablation).
-        const bool clean = !config_.scrub_on_write &&
-                           code_.IsCodeword(std::span<const Elem>(word));
+        const bool clean =
+            !config_.scrub_on_write &&
+            code_.IsCodeword(std::span<const Elem>(word_), scratch_);
         if (clean) {
-          std::vector<Elem> parity(word.begin() + code_.k(), word.end());
+          parity_.assign(word_.begin() + code_.k(), word_.end());
           bool parity_changed = false;
           for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
             const unsigned s = s0 + q;
@@ -149,12 +160,12 @@ void PairScheme::WriteLine(const dram::Address& addr,
                   new_sym |
                   (new_col.Get((q * kSymbolBits + j) * pins + pin) << j));
             const unsigned pos = s % code_.k();
-            const Elem delta = word[pos] ^ new_sym;
+            const Elem delta = word_[pos] ^ new_sym;
             if (delta == 0) continue;
-            word[pos] = new_sym;
-            const auto pdelta = code_.ParityDelta(pos, delta);
+            word_[pos] = new_sym;
+            code_.ParityDeltaInto(pos, delta, pdelta_);
             for (unsigned j = 0; j < config_.check_symbols; ++j)
-              parity[j] ^= pdelta[j];
+              parity_[j] ^= pdelta_[j];
             parity_changed = true;
             // Write the data symbol.
             for (unsigned j = 0; j < kSymbolBits; ++j)
@@ -165,7 +176,7 @@ void PairScheme::WriteLine(const dram::Address& addr,
           if (parity_changed) {
             for (unsigned j = 0; j < config_.check_symbols; ++j) {
               util::BitVec bits(kSymbolBits);
-              bits.SetWord(0, kSymbolBits, parity[j]);
+              bits.SetWord(0, kSymbolBits, parity_[j]);
               dev.WriteBits(addr.bank, addr.row, ParityBitOffset(pin, w, j),
                             bits);
             }
@@ -176,9 +187,10 @@ void PairScheme::WriteLine(const dram::Address& addr,
         // Slow path: decode the covering codeword, splice the new symbols
         // into the corrected data, re-encode from scratch.
         const auto* er = ErasuresFor({d, pin, w});
-        code_.Decode(std::span<Elem>(word),
+        code_.Decode(std::span<Elem>(word_),
                      er ? std::span<const unsigned>(*er)
-                        : std::span<const unsigned>{});
+                        : std::span<const unsigned>{},
+                     scratch_);
         for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
           const unsigned s = s0 + q;
           if (s / code_.k() != w) continue;
@@ -187,13 +199,12 @@ void PairScheme::WriteLine(const dram::Address& addr,
             new_sym = static_cast<Elem>(
                 new_sym |
                 (new_col.Get((q * kSymbolBits + j) * pins + pin) << j));
-          word[s % code_.k()] = new_sym;
+          word_[s % code_.k()] = new_sym;
         }
-        const auto parity = code_.ComputeParity(
-            std::span<const Elem>(word.data(), code_.k()));
-        for (unsigned j = 0; j < config_.check_symbols; ++j)
-          word[code_.k() + j] = parity[j];
-        StoreCodeword(d, addr.bank, addr.row, pin, w, word);
+        code_.ComputeParityInto(
+            std::span<const Elem>(word_.data(), code_.k()),
+            std::span<Elem>(word_.data() + code_.k(), config_.check_symbols));
+        StoreCodeword(d, addr.bank, addr.row, pin, w, word_);
       }
     }
   }
@@ -223,19 +234,20 @@ ecc::ReadResult PairScheme::ReadLine(const dram::Address& addr) {
                                  ? cw_per_pin_ - 1
                                  : (s0 + subsymbols_per_col_ - 1) / code_.k();
       for (unsigned w = w_begin; w <= w_end; ++w) {
-        auto word = AssembleCodeword(row_image, pin, w);
+        AssembleCodewordInto(row_image, pin, w, word_);
         const auto* er = ErasuresFor({d, pin, w});
-        const auto decode =
-            code_.Decode(std::span<Elem>(word),
+        const auto status =
+            code_.Decode(std::span<Elem>(word_),
                          er ? std::span<const unsigned>(*er)
-                            : std::span<const unsigned>{});
-        switch (decode.status) {
+                            : std::span<const unsigned>{},
+                         scratch_);
+        switch (status) {
           case rs::DecodeStatus::kNoError:
             break;
           case rs::DecodeStatus::kCorrected:
             if (result.claim != ecc::Claim::kDetected)
               result.claim = ecc::Claim::kCorrected;
-            result.corrected_units += decode.NumCorrected();
+            result.corrected_units += scratch_.NumCorrected();
             break;
           case rs::DecodeStatus::kFailure:
             result.claim = ecc::Claim::kDetected;
@@ -245,7 +257,7 @@ ecc::ReadResult PairScheme::ReadLine(const dram::Address& addr) {
         for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
           const unsigned s = s0 + q;
           if (s / code_.k() != w) continue;
-          const Elem v = word[s % code_.k()];
+          const Elem v = word_[s % code_.k()];
           for (unsigned j = 0; j < kSymbolBits; ++j)
             col_slice.Set((q * kSymbolBits + j) * pins + pin,
                           (static_cast<unsigned>(v) >> j) & 1u);
@@ -268,14 +280,15 @@ void PairScheme::ScrubLine(const dram::Address& addr) {
       const unsigned w0 = s0 / code_.k();
       const unsigned w1 = (s0 + subsymbols_per_col_ - 1) / code_.k();
       for (unsigned w = w0; w <= w1; ++w) {
-        auto word = AssembleCodeword(row_image, pin, w);
+        AssembleCodewordInto(row_image, pin, w, word_);
         const auto* er = ErasuresFor({d, pin, w});
-        const auto decode =
-            code_.Decode(std::span<Elem>(word),
+        const auto status =
+            code_.Decode(std::span<Elem>(word_),
                          er ? std::span<const unsigned>(*er)
-                            : std::span<const unsigned>{});
-        if (decode.status == rs::DecodeStatus::kCorrected)
-          StoreCodeword(d, addr.bank, addr.row, pin, w, word);
+                            : std::span<const unsigned>{},
+                         scratch_);
+        if (status == rs::DecodeStatus::kCorrected)
+          StoreCodeword(d, addr.bank, addr.row, pin, w, word_);
       }
     }
   }
@@ -290,18 +303,19 @@ PairScheme::ScrubStats PairScheme::ScrubRow(unsigned bank, unsigned row) {
     for (unsigned pin = 0; pin < g.dq_pins; ++pin) {
       for (unsigned w = 0; w < cw_per_pin_; ++w) {
         ++stats.codewords;
-        auto word = AssembleCodeword(row_image, pin, w);
+        AssembleCodewordInto(row_image, pin, w, word_);
         const auto* er = ErasuresFor({d, pin, w});
-        const auto decode =
-            code_.Decode(std::span<Elem>(word),
+        const auto status =
+            code_.Decode(std::span<Elem>(word_),
                          er ? std::span<const unsigned>(*er)
-                            : std::span<const unsigned>{});
-        switch (decode.status) {
+                            : std::span<const unsigned>{},
+                         scratch_);
+        switch (status) {
           case rs::DecodeStatus::kNoError:
             break;
           case rs::DecodeStatus::kCorrected:
             ++stats.corrected;
-            StoreCodeword(d, bank, row, pin, w, word);
+            StoreCodeword(d, bank, row, pin, w, word_);
             break;
           case rs::DecodeStatus::kFailure:
             ++stats.uncorrectable;

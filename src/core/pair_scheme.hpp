@@ -96,6 +96,11 @@ class PairScheme final : public ecc::Scheme {
   std::vector<gf::Elem> AssembleCodeword(const util::BitVec& row_image,
                                          unsigned pin, unsigned w) const;
 
+  /// Allocation-free variant: overwrites `word` (resized to n) with the
+  /// assembled codeword.
+  void AssembleCodewordInto(const util::BitVec& row_image, unsigned pin,
+                            unsigned w, std::vector<gf::Elem>& word) const;
+
   /// Writes corrected/updated symbols of a codeword back to the array.
   void StoreCodeword(unsigned device, unsigned bank, unsigned row,
                      unsigned pin, unsigned w,
@@ -109,6 +114,14 @@ class PairScheme final : public ecc::Scheme {
   unsigned cw_per_pin_;           // per row
   unsigned subsymbols_per_col_;   // burst_length / 8
   std::map<CodewordRef, std::vector<unsigned>> erasures_;
+
+  // Reusable hot-path buffers. A Scheme instance is not thread-safe; the
+  // trial engine gives every worker its own rank + scheme, so these are
+  // touched by one thread only.
+  rs::DecodeScratch scratch_;
+  std::vector<gf::Elem> word_;
+  std::vector<gf::Elem> parity_;
+  std::vector<gf::Elem> pdelta_;
 };
 
 }  // namespace pair_ecc::core

@@ -122,7 +122,7 @@ class IeccScheme final : public Scheme {
       // Read-CORRECT-modify-write: the internal RMW runs the sensed word
       // through the decoder before splicing — re-encoding over a stale
       // error would launder it into a "valid" corrupted codeword.
-      util::BitVec cw(code_.n());
+      util::BitVec& cw = cw_;  // fully overwritten below
       cw.Splice(0, dev.ReadBits(addr.bank, addr.row, word * kWordBits,
                                 kWordBits));
       cw.Splice(kWordBits,
@@ -150,7 +150,7 @@ class IeccScheme final : public Scheme {
     result.data = util::BitVec(rank().geometry().LineBits());
     for (unsigned d = 0; d < rank().DataDevices(); ++d) {
       auto& dev = rank().device(d);
-      util::BitVec cw(code_.n());
+      util::BitVec& cw = cw_;  // fully overwritten below
       cw.Splice(0, dev.ReadBits(addr.bank, addr.row, word * kWordBits, kWordBits));
       cw.Splice(kWordBits,
                 dev.ReadBits(addr.bank, addr.row,
@@ -176,6 +176,9 @@ class IeccScheme final : public Scheme {
 
  private:
   hamming::HammingCode code_;
+  // Reusable codeword buffer; a Scheme instance is single-threaded (the
+  // trial engine builds one per worker). Every use fully overwrites [0, n).
+  util::BitVec cw_{code_.n()};
 };
 
 // ---------------------------------------------------------------------------
@@ -239,7 +242,7 @@ class RankSecDedScheme final : public Scheme {
     const util::BitVec parity_col =
         rank().device(EccDevice()).ReadColumn(addr);
     for (unsigned beat = 0; beat < g.burst_length; ++beat) {
-      util::BitVec cw(code_.n());
+      util::BitVec& cw = cw_;  // fully overwritten below
       cw.Splice(0, GatherBeat(result.data, beat));
       cw.Splice(code_.k(),
                 parity_col.Slice(beat * g.dq_pins, code_.ParityBits()));
@@ -281,6 +284,9 @@ class RankSecDedScheme final : public Scheme {
 
   std::unique_ptr<Scheme> inner_;
   hamming::HammingCode code_;
+  // Reusable beat codeword; single-threaded per instance, fully overwritten
+  // on every use.
+  util::BitVec cw_{code_.n()};
 };
 
 }  // namespace

@@ -62,24 +62,26 @@ class DuoScheme final : public Scheme {
 
   void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
     const auto& g = rank().geometry().device;
-    std::vector<gf::Elem> data(code_.k());
+    data_.resize(code_.k());
     for (unsigned s = 0; s < code_.k(); ++s)
-      data[s] = static_cast<gf::Elem>(line.GetWord(s * kSymbolBits, kSymbolBits));
-    const auto parity = code_.ComputeParity(data);
+      data_[s] =
+          static_cast<gf::Elem>(line.GetWord(s * kSymbolBits, kSymbolBits));
+    parity_.resize(code_.r());
+    code_.ComputeParityInto(data_, parity_);
 
     rank().WriteLine(addr, line);
 
     // Check symbols 0..7 -> sidecar column.
     util::BitVec sidecar(g.AccessBits());
     for (unsigned j = 0; j < kSidecarSymbols; ++j)
-      sidecar.SetWord(j * kSymbolBits, kSymbolBits, parity[j]);
+      sidecar.SetWord(j * kSymbolBits, kSymbolBits, parity_[j]);
     rank().device(rank().DataDevices()).WriteColumn(addr, sidecar);
 
     // Check symbols 8..11 -> one nibble per data device.
     for (unsigned d = 0; d < rank().DataDevices(); ++d) {
       const unsigned sym = kSidecarSymbols + d / 2;
       const unsigned nibble =
-          (parity[sym] >> ((d % 2) * kSpareBitsPerDevice)) & 0xF;
+          (parity_[sym] >> ((d % 2) * kSpareBitsPerDevice)) & 0xF;
       util::BitVec bits(kSpareBitsPerDevice);
       bits.SetWord(0, kSpareBitsPerDevice, nibble);
       rank().device(d).WriteBits(
@@ -90,16 +92,17 @@ class DuoScheme final : public Scheme {
 
   ReadResult ReadLine(const dram::Address& addr) override {
     const auto& g = rank().geometry().device;
-    std::vector<gf::Elem> word(code_.n());
+    word_.assign(code_.n(), 0);
 
     const util::BitVec raw = rank().ReadLine(addr);
     for (unsigned s = 0; s < code_.k(); ++s)
-      word[s] = static_cast<gf::Elem>(raw.GetWord(s * kSymbolBits, kSymbolBits));
+      word_[s] =
+          static_cast<gf::Elem>(raw.GetWord(s * kSymbolBits, kSymbolBits));
 
     const util::BitVec sidecar =
         rank().device(rank().DataDevices()).ReadColumn(addr);
     for (unsigned j = 0; j < kSidecarSymbols; ++j)
-      word[code_.k() + j] =
+      word_[code_.k() + j] =
           static_cast<gf::Elem>(sidecar.GetWord(j * kSymbolBits, kSymbolBits));
 
     for (unsigned d = 0; d < rank().DataDevices(); ++d) {
@@ -107,19 +110,20 @@ class DuoScheme final : public Scheme {
           addr.bank, addr.row, g.row_bits + addr.col * kSpareBitsPerDevice,
           kSpareBitsPerDevice);
       const unsigned sym = code_.k() + kSidecarSymbols + d / 2;
-      word[sym] = static_cast<gf::Elem>(
-          word[sym] |
+      word_[sym] = static_cast<gf::Elem>(
+          word_[sym] |
           (bits.GetWord(0, kSpareBitsPerDevice) << ((d % 2) * kSpareBitsPerDevice)));
     }
 
     ReadResult result;
-    const auto decode = code_.Decode(std::span<gf::Elem>(word), erased_devices_);
-    switch (decode.status) {
+    const auto status =
+        code_.Decode(std::span<gf::Elem>(word_), erased_devices_, scratch_);
+    switch (status) {
       case rs::DecodeStatus::kNoError:
         break;
       case rs::DecodeStatus::kCorrected:
         result.claim = Claim::kCorrected;
-        result.corrected_units = decode.NumCorrected();
+        result.corrected_units = scratch_.NumCorrected();
         break;
       case rs::DecodeStatus::kFailure:
         result.claim = Claim::kDetected;
@@ -127,7 +131,7 @@ class DuoScheme final : public Scheme {
     }
     result.data = util::BitVec(rank().geometry().LineBits());
     for (unsigned s = 0; s < code_.k(); ++s)
-      result.data.SetWord(s * kSymbolBits, kSymbolBits, word[s]);
+      result.data.SetWord(s * kSymbolBits, kSymbolBits, word_[s]);
     return result;
   }
 
@@ -148,6 +152,12 @@ class DuoScheme final : public Scheme {
  private:
   rs::RsCode code_;
   std::vector<unsigned> erased_devices_;
+  // Reusable hot-path buffers; a Scheme instance is single-threaded (the
+  // trial engine builds one per worker).
+  rs::DecodeScratch scratch_;
+  std::vector<gf::Elem> word_;
+  std::vector<gf::Elem> data_;
+  std::vector<gf::Elem> parity_;
 };
 
 }  // namespace

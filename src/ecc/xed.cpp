@@ -121,7 +121,7 @@ class XedScheme final : public Scheme {
     const unsigned word = addr.col / cols_per_word;
     const unsigned slot = addr.col % cols_per_word;
     auto& dev = rank().device(d);
-    util::BitVec cw(code_.n());
+    util::BitVec& cw = cw_;  // fully overwritten below
     cw.Splice(0,
               dev.ReadBits(addr.bank, addr.row, word * kWordBits, kWordBits));
     cw.Splice(kWordBits,
@@ -146,7 +146,7 @@ class XedScheme final : public Scheme {
     const unsigned word = addr.col / cols_per_word;
     const unsigned slot = addr.col % cols_per_word;
     auto& dev = rank().device(d);
-    util::BitVec cw(code_.n());
+    util::BitVec& cw = cw_;  // fully overwritten below
     cw.Splice(0, dev.ReadBits(addr.bank, addr.row, word * kWordBits, kWordBits));
     cw.Splice(kWordBits,
               dev.ReadBits(addr.bank, addr.row,
@@ -159,6 +159,10 @@ class XedScheme final : public Scheme {
   }
 
   hamming::HammingCode code_;
+  // Reusable on-die codeword buffer; a Scheme instance is single-threaded
+  // (the trial engine builds one per worker). Sized once: every use fully
+  // overwrites bits [0, n).
+  util::BitVec cw_{code_.n()};
 };
 
 }  // namespace

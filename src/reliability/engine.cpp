@@ -1,0 +1,33 @@
+#include "reliability/engine.hpp"
+
+namespace pair_ecc::reliability {
+
+WorkingSet MakeWorkingSet(const dram::RankGeometry& geometry,
+                          unsigned working_rows, unsigned lines_per_row,
+                          unsigned row_mul, unsigned row_off) {
+  const auto& g = geometry.device;
+  WorkingSet ws;
+  ws.rows.reserve(working_rows);
+  for (unsigned i = 0; i < working_rows; ++i)
+    ws.rows.push_back({i % g.banks, (i * row_mul + row_off) % g.rows_per_bank});
+  ws.cols.reserve(lines_per_row);
+  for (unsigned j = 0; j < lines_per_row; ++j)
+    ws.cols.push_back(j * g.ColumnsPerRow() / lines_per_row);
+  return ws;
+}
+
+TrialContext::TrialContext(const dram::RankGeometry& geometry,
+                           ecc::SchemeKind kind, const WorkingSet& ws,
+                           util::Xoshiro256& rng)
+    : rank(geometry), scheme(ecc::MakeScheme(kind, rank)) {
+  truth.reserve(ws.rows.size() * ws.cols.size());
+  for (const auto& r : ws.rows) {
+    for (unsigned col : ws.cols) {
+      const dram::Address addr{r.bank, r.row, col};
+      truth.emplace_back(addr, util::BitVec::Random(geometry.LineBits(), rng));
+      scheme->WriteLine(addr, truth.back().second);
+    }
+  }
+}
+
+}  // namespace pair_ecc::reliability

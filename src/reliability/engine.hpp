@@ -1,0 +1,149 @@
+// Deterministic sharded Monte-Carlo trial engine.
+//
+// Every reliability figure in the reproduction (F1 sweep, F2 breakdown, F5
+// headline ratios, lifetime folds) is a sum over independent seeded trials,
+// so the engine parallelizes them as a map-reduce with a hard determinism
+// contract:
+//
+//  * Per-trial RNG streams are derived counter-style from (seed,
+//    trial_index): a master Xoshiro256(seed) stream supplies trial i's
+//    64-bit sub-seed as its i-th output (precomputed up front, so workers
+//    never touch a shared generator), and the trial's Xoshiro256 state is
+//    expanded from that sub-seed via SplitMix64. Trial i therefore draws an
+//    identical stream no matter which worker runs it — and the stream is
+//    bit-for-bit the one the original serial loop produced with
+//    `master.Fork()`, which is what pins the pre-refactor golden values.
+//  * Trials are grouped into fixed-size shards (kShardTrials, independent
+//    of the thread count). Each shard accumulates into its own
+//    default-constructed Result, and shard results are reduced serially in
+//    shard order with `operator+=`. The reduction tree is thus a function
+//    of (trials) alone, so results are bitwise identical for any thread
+//    count — including floating-point accumulators.
+//  * Workers share nothing mutable: each trial constructs its own
+//    dram::Rank + Scheme (via TrialContext below), and read-only inputs
+//    (config, working set) are captured by const reference.
+//
+// See docs/ARCHITECTURE.md ("Trial engine") for the layer diagram.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dram/rank.hpp"
+#include "ecc/scheme.hpp"
+#include "faults/injector.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::reliability {
+
+class TrialEngine {
+ public:
+  /// Trials per shard. Fixed (never derived from the thread count) so the
+  /// reduction grouping — and therefore the merged result — is identical
+  /// for any parallelism.
+  static constexpr std::uint64_t kShardTrials = 16;
+
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit TrialEngine(unsigned threads = 0)
+      : threads_(ResolveThreads(threads)) {}
+
+  unsigned threads() const noexcept { return threads_; }
+
+  static unsigned ResolveThreads(unsigned requested) noexcept {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+  }
+
+  /// Runs `trials` independent trials of `body` and merges the per-shard
+  /// accumulators in shard order. Result must be default-constructible and
+  /// support `operator+=`; Body is invoked as
+  ///   body(trial_index, rng, accumulator)
+  /// and must draw all randomness from `rng` (a per-trial stream) and write
+  /// only through the accumulator it is handed.
+  template <typename Result, typename Body>
+  Result Run(std::uint64_t seed, std::uint64_t trials, Body&& body) const {
+    // Per-trial sub-seeds, in trial order, from the master stream. This is
+    // exactly the sequence the serial `master.Fork()` loop consumed.
+    std::vector<std::uint64_t> trial_seeds(trials);
+    util::Xoshiro256 master(seed);
+    for (auto& s : trial_seeds) s = master();
+
+    const std::uint64_t shards = (trials + kShardTrials - 1) / kShardTrials;
+    std::vector<Result> shard_results(shards);
+
+    auto run_shard = [&](std::uint64_t shard) {
+      const std::uint64_t begin = shard * kShardTrials;
+      const std::uint64_t end = std::min(begin + kShardTrials, trials);
+      for (std::uint64_t trial = begin; trial < end; ++trial) {
+        util::Xoshiro256 rng(trial_seeds[trial]);
+        body(trial, rng, shard_results[shard]);
+      }
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads_, shards));
+    if (workers <= 1) {
+      for (std::uint64_t shard = 0; shard < shards; ++shard) run_shard(shard);
+    } else {
+      // Dynamic shard queue: workers pull the next shard index; which worker
+      // runs a shard does not affect the result, only load balance.
+      std::atomic<std::uint64_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          const std::uint64_t shard =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (shard >= shards) return;
+          run_shard(shard);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
+    }
+
+    Result total{};
+    for (auto& r : shard_results) total += r;
+    return total;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+/// The (rows, columns) grid a reliability experiment writes and reads back.
+/// Rows are spread over banks and row addresses with a caller-chosen affine
+/// stride (monte_carlo and lifetime historically use different constants,
+/// preserved to keep their seeds' results stable); line columns are spread
+/// over the row so distinct on-die codewords are exercised.
+struct WorkingSet {
+  std::vector<faults::RowRef> rows;
+  std::vector<unsigned> cols;
+};
+
+WorkingSet MakeWorkingSet(const dram::RankGeometry& geometry,
+                          unsigned working_rows, unsigned lines_per_row,
+                          unsigned row_mul, unsigned row_off);
+
+/// Per-trial state: a fresh rank, the scheme under test built over it, and
+/// the ground-truth working-set contents (written through the scheme, in
+/// row-major working-set order, drawing one random line per cell from
+/// `rng`). Shared by the single-shot Monte-Carlo and the lifetime engine —
+/// the two previously duplicated this setup loop.
+struct TrialContext {
+  dram::Rank rank;
+  std::unique_ptr<ecc::Scheme> scheme;
+  std::vector<std::pair<dram::Address, util::BitVec>> truth;
+
+  TrialContext(const dram::RankGeometry& geometry, ecc::SchemeKind kind,
+               const WorkingSet& ws, util::Xoshiro256& rng);
+};
+
+}  // namespace pair_ecc::reliability

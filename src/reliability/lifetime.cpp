@@ -4,6 +4,7 @@
 
 #include "dram/rank.hpp"
 #include "faults/injector.hpp"
+#include "reliability/engine.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
@@ -22,97 +23,104 @@ unsigned SamplePoisson(double lambda, util::Xoshiro256& rng) {
   return count;
 }
 
+/// Shard accumulator for the trial engine: the public stats plus the
+/// epoch-sum that becomes `mean_sdc_epoch` after the reduce. Every term of
+/// `sdc_epoch_sum` is a small exact integer, so the shard-grouped sum is
+/// bitwise equal to the old serial left-to-right sum.
+struct LifetimeAccum {
+  LifetimeStats stats;
+  double sdc_epoch_sum = 0.0;
+
+  LifetimeAccum& operator+=(const LifetimeAccum& other) noexcept {
+    stats.trials += other.stats.trials;
+    stats.trials_with_sdc += other.stats.trials_with_sdc;
+    stats.trials_with_due += other.stats.trials_with_due;
+    stats.total_corrections += other.stats.total_corrections;
+    stats.total_scrub_writebacks += other.stats.total_scrub_writebacks;
+    sdc_epoch_sum += other.sdc_epoch_sum;
+    return *this;
+  }
+};
+
 }  // namespace
 
 LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials) {
   config.geometry.Validate();
-  LifetimeStats stats;
-  util::Xoshiro256 master(config.seed);
   const auto& g = config.geometry.device;
+  const WorkingSet ws =
+      MakeWorkingSet(config.geometry, config.working_rows, config.lines_per_row,
+                     /*row_mul=*/41, /*row_off=*/3);
 
-  std::vector<faults::RowRef> rows;
-  for (unsigned i = 0; i < config.working_rows; ++i)
-    rows.push_back({i % g.banks, (i * 41 + 3) % g.rows_per_bank});
-  std::vector<unsigned> cols;
-  for (unsigned j = 0; j < config.lines_per_row; ++j)
-    cols.push_back(j * g.ColumnsPerRow() / config.lines_per_row);
+  const TrialEngine engine(config.threads);
+  LifetimeAccum accum = engine.Run<LifetimeAccum>(
+      config.seed, trials,
+      [&config, &ws, &g](std::uint64_t /*trial*/, util::Xoshiro256& rng,
+                         LifetimeAccum& acc) {
+        TrialContext ctx(config.geometry, config.scheme, ws, rng);
+        faults::Injector injector(ctx.rank, ws.rows);
 
-  double sdc_epoch_sum = 0.0;
-  for (unsigned trial = 0; trial < trials; ++trial) {
-    util::Xoshiro256 rng = master.Fork();
-    dram::Rank rank(config.geometry);
-    auto scheme = ecc::MakeScheme(config.scheme, rank);
+        bool saw_sdc = false, saw_due = false;
+        unsigned sdc_epoch = config.epochs;
+        for (unsigned epoch = 0; epoch < config.epochs && !saw_sdc; ++epoch) {
+          const unsigned arrivals = SamplePoisson(config.faults_per_epoch, rng);
+          for (unsigned f = 0; f < arrivals; ++f)
+            injector.InjectFromMix(config.mix, rng);
 
-    std::vector<std::pair<dram::Address, util::BitVec>> truth;
-    for (const auto& r : rows) {
-      for (unsigned col : cols) {
-        const dram::Address addr{r.bank, r.row, col};
-        truth.emplace_back(
-            addr, util::BitVec::Random(config.geometry.LineBits(), rng));
-        scheme->WriteLine(addr, truth.back().second);
-      }
-    }
-    faults::Injector injector(rank, rows);
-
-    bool saw_sdc = false, saw_due = false;
-    unsigned sdc_epoch = config.epochs;
-    for (unsigned epoch = 0; epoch < config.epochs && !saw_sdc; ++epoch) {
-      const unsigned arrivals = SamplePoisson(config.faults_per_epoch, rng);
-      for (unsigned f = 0; f < arrivals; ++f)
-        injector.InjectFromMix(config.mix, rng);
-
-      // Demand reads.
-      for (const auto& [addr, line] : truth) {
-        const auto read = scheme->ReadLine(addr);
-        const Outcome outcome = Classify(read.claim, read.data, line);
-        stats.total_corrections += outcome == Outcome::kCorrected;
-        if (IsSdc(outcome) && !saw_sdc) {
-          saw_sdc = true;
-          sdc_epoch = epoch;
-        }
-        saw_due |= outcome == Outcome::kDue;
-      }
-
-      // Patrol scrub walks the whole working rows: each scheme repairs
-      // what it can in place, flushing accumulated transient errors
-      // (stuck defects survive).
-      if (config.scrub_interval != 0 && !saw_sdc &&
-          (epoch + 1) % config.scrub_interval == 0) {
-        for (const auto& r : rows) {
-          scheme->ScrubRowFull(r.bank, r.row);
-          ++stats.total_scrub_writebacks;
-        }
-      }
-    }
-
-    // Horizon audit: cold data is eventually consumed too. Unwritten
-    // columns hold the all-zero line, which every scheme encodes with
-    // all-zero parity, so ground truth is well defined row-wide.
-    if (config.final_audit && !saw_sdc) {
-      const util::BitVec zero_line(config.geometry.LineBits());
-      for (const auto& r : rows) {
-        for (unsigned col = 0; col < g.ColumnsPerRow() && !saw_sdc; ++col) {
-          const dram::Address addr{r.bank, r.row, col};
-          const util::BitVec* expect = &zero_line;
-          for (const auto& [taddr, tline] : truth)
-            if (taddr == addr) expect = &tline;
-          const auto read = scheme->ReadLine(addr);
-          const Outcome outcome = Classify(read.claim, read.data, *expect);
-          if (IsSdc(outcome)) {
-            saw_sdc = true;
-            sdc_epoch = config.epochs;
+          // Demand reads.
+          for (const auto& [addr, line] : ctx.truth) {
+            const auto read = ctx.scheme->ReadLine(addr);
+            const Outcome outcome = Classify(read.claim, read.data, line);
+            acc.stats.total_corrections += outcome == Outcome::kCorrected;
+            if (IsSdc(outcome) && !saw_sdc) {
+              saw_sdc = true;
+              sdc_epoch = epoch;
+            }
+            saw_due |= outcome == Outcome::kDue;
           }
-          saw_due |= outcome == Outcome::kDue;
+
+          // Patrol scrub walks the whole working rows: each scheme repairs
+          // what it can in place, flushing accumulated transient errors
+          // (stuck defects survive).
+          if (config.scrub_interval != 0 && !saw_sdc &&
+              (epoch + 1) % config.scrub_interval == 0) {
+            for (const auto& r : ws.rows) {
+              ctx.scheme->ScrubRowFull(r.bank, r.row);
+              ++acc.stats.total_scrub_writebacks;
+            }
+          }
         }
-      }
-    }
-    ++stats.trials;
-    stats.trials_with_sdc += saw_sdc;
-    stats.trials_with_due += saw_due;
-    sdc_epoch_sum += static_cast<double>(sdc_epoch);
-  }
+
+        // Horizon audit: cold data is eventually consumed too. Unwritten
+        // columns hold the all-zero line, which every scheme encodes with
+        // all-zero parity, so ground truth is well defined row-wide.
+        if (config.final_audit && !saw_sdc) {
+          const util::BitVec zero_line(config.geometry.LineBits());
+          for (const auto& r : ws.rows) {
+            for (unsigned col = 0; col < g.ColumnsPerRow() && !saw_sdc;
+                 ++col) {
+              const dram::Address addr{r.bank, r.row, col};
+              const util::BitVec* expect = &zero_line;
+              for (const auto& [taddr, tline] : ctx.truth)
+                if (taddr == addr) expect = &tline;
+              const auto read = ctx.scheme->ReadLine(addr);
+              const Outcome outcome = Classify(read.claim, read.data, *expect);
+              if (IsSdc(outcome)) {
+                saw_sdc = true;
+                sdc_epoch = config.epochs;
+              }
+              saw_due |= outcome == Outcome::kDue;
+            }
+          }
+        }
+        ++acc.stats.trials;
+        acc.stats.trials_with_sdc += saw_sdc;
+        acc.stats.trials_with_due += saw_due;
+        acc.sdc_epoch_sum += static_cast<double>(sdc_epoch);
+      });
+
+  LifetimeStats stats = accum.stats;
   stats.mean_sdc_epoch =
-      trials ? sdc_epoch_sum / static_cast<double>(trials) : 0.0;
+      trials ? accum.sdc_epoch_sum / static_cast<double>(trials) : 0.0;
   return stats;
 }
 

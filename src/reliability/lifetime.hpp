@@ -35,6 +35,9 @@ struct LifetimeConfig {
   unsigned working_rows = 1;
   unsigned lines_per_row = 4;
   std::uint64_t seed = 1;
+  /// Worker threads for the trial engine; 0 = hardware_concurrency. Results
+  /// are bitwise identical for every thread count (see engine.hpp).
+  unsigned threads = 0;
 };
 
 struct LifetimeStats {

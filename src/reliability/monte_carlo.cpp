@@ -4,6 +4,7 @@
 
 #include "dram/rank.hpp"
 #include "faults/injector.hpp"
+#include "reliability/engine.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
@@ -30,57 +31,50 @@ void OutcomeCounts::Add(Outcome outcome) {
   }
 }
 
+OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& other) noexcept {
+  trials += other.trials;
+  reads += other.reads;
+  no_error += other.no_error;
+  corrected += other.corrected;
+  due += other.due;
+  sdc_miscorrected += other.sdc_miscorrected;
+  sdc_undetected += other.sdc_undetected;
+  trials_with_sdc += other.trials_with_sdc;
+  trials_with_due += other.trials_with_due;
+  trials_with_failure += other.trials_with_failure;
+  return *this;
+}
+
 OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials) {
   config.geometry.Validate();
-  OutcomeCounts counts;
-  util::Xoshiro256 master(config.seed);
-  const auto& g = config.geometry.device;
+  const WorkingSet ws =
+      MakeWorkingSet(config.geometry, config.working_rows, config.lines_per_row,
+                     /*row_mul=*/37, /*row_off=*/11);
 
-  // Working set: rows spread over banks and row addresses; line columns
-  // spread over the row so distinct on-die codewords are exercised.
-  std::vector<faults::RowRef> rows;
-  rows.reserve(config.working_rows);
-  for (unsigned i = 0; i < config.working_rows; ++i)
-    rows.push_back({i % g.banks, (i * 37 + 11) % g.rows_per_bank});
-  std::vector<unsigned> cols;
-  for (unsigned j = 0; j < config.lines_per_row; ++j)
-    cols.push_back(j * g.ColumnsPerRow() / config.lines_per_row);
+  const TrialEngine engine(config.threads);
+  return engine.Run<OutcomeCounts>(
+      config.seed, trials,
+      [&config, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
+                     OutcomeCounts& counts) {
+        TrialContext ctx(config.geometry, config.scheme, ws, rng);
 
-  for (unsigned trial = 0; trial < trials; ++trial) {
-    util::Xoshiro256 rng = master.Fork();
-    dram::Rank rank(config.geometry);
-    auto scheme = ecc::MakeScheme(config.scheme, rank);
+        faults::Injector injector(ctx.rank, ws.rows);
+        for (unsigned f = 0; f < config.faults_per_trial; ++f)
+          injector.InjectFromMix(config.mix, rng);
 
-    // Populate and remember ground truth.
-    std::vector<std::pair<dram::Address, util::BitVec>> truth;
-    truth.reserve(rows.size() * cols.size());
-    for (const auto& r : rows) {
-      for (unsigned col : cols) {
-        const dram::Address addr{r.bank, r.row, col};
-        truth.emplace_back(addr,
-                           util::BitVec::Random(config.geometry.LineBits(), rng));
-        scheme->WriteLine(addr, truth.back().second);
-      }
-    }
-
-    faults::Injector injector(rank, rows);
-    for (unsigned f = 0; f < config.faults_per_trial; ++f)
-      injector.InjectFromMix(config.mix, rng);
-
-    bool any_sdc = false, any_due = false;
-    for (const auto& [addr, line] : truth) {
-      const auto read = scheme->ReadLine(addr);
-      const Outcome outcome = Classify(read.claim, read.data, line);
-      counts.Add(outcome);
-      any_sdc |= IsSdc(outcome);
-      any_due |= outcome == Outcome::kDue;
-    }
-    ++counts.trials;
-    counts.trials_with_sdc += any_sdc;
-    counts.trials_with_due += any_due;
-    counts.trials_with_failure += (any_sdc || any_due);
-  }
-  return counts;
+        bool any_sdc = false, any_due = false;
+        for (const auto& [addr, line] : ctx.truth) {
+          const auto read = ctx.scheme->ReadLine(addr);
+          const Outcome outcome = Classify(read.claim, read.data, line);
+          counts.Add(outcome);
+          any_sdc |= IsSdc(outcome);
+          any_due |= outcome == Outcome::kDue;
+        }
+        ++counts.trials;
+        counts.trials_with_sdc += any_sdc;
+        counts.trials_with_due += any_due;
+        counts.trials_with_failure += (any_sdc || any_due);
+      });
 }
 
 LifetimeEstimate CombinePoisson(std::span<const OutcomeCounts> conditional,

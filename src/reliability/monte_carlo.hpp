@@ -30,6 +30,9 @@ struct ScenarioConfig {
   unsigned working_rows = 2;   ///< rows in the working set, spread over banks
   unsigned lines_per_row = 8;  ///< lines written + read back per row
   std::uint64_t seed = 1;
+  /// Worker threads for the trial engine; 0 = hardware_concurrency. Results
+  /// are bitwise identical for every thread count (see engine.hpp).
+  unsigned threads = 0;
 };
 
 struct OutcomeCounts {
@@ -68,6 +71,12 @@ struct OutcomeCounts {
   }
 
   void Add(Outcome outcome);
+
+  /// Order-independent merge of disjoint trial populations — the reduction
+  /// the trial engine applies to per-shard accumulators.
+  OutcomeCounts& operator+=(const OutcomeCounts& other) noexcept;
+
+  friend bool operator==(const OutcomeCounts&, const OutcomeCounts&) = default;
 };
 
 /// Runs `trials` independent scenarios. Deterministic in (config, trials).

@@ -37,55 +37,85 @@ RsCode::RsCode(const GfField& field, unsigned n, unsigned k)
   monomial_rem_ = std::move(by_degree);
 }
 
-std::vector<Elem> RsCode::ComputeParity(std::span<const Elem> data) const {
+void RsCode::ComputeParityInto(std::span<const Elem> data,
+                               std::span<Elem> parity) const {
   PAIR_CHECK(data.size() == k_, "ComputeParity expects " << k_
                                     << " data symbols, got " << data.size());
+  PAIR_CHECK(parity.size() == r(), "parity span holds " << parity.size()
+                                       << " symbols, expected " << r());
   // parity(x) = (data(x) * x^r) mod g(x). Accumulate via the precomputed
   // monomial remainders: linear in the number of nonzero data symbols.
-  Poly rem(r(), 0);
+  // Codeword index k + j holds the coefficient of x^(r-1-j), so the
+  // remainder is accumulated directly into the reversed output slots.
+  std::fill(parity.begin(), parity.end(), Elem{0});
   for (unsigned i = 0; i < k_; ++i) {
     const Elem d = data[i];
     if (d == 0) continue;
     const Poly& foot = monomial_rem_[i];
-    for (unsigned j = 0; j < r(); ++j) rem[j] ^= field_.Mul(d, foot[j]);
+    for (unsigned j = 0; j < r(); ++j)
+      parity[r() - 1 - j] ^= field_.Mul(d, foot[j]);
   }
-  // Codeword index k + j holds the coefficient of x^(r-1-j).
+}
+
+std::vector<Elem> RsCode::ComputeParity(std::span<const Elem> data) const {
   std::vector<Elem> parity(r());
-  for (unsigned j = 0; j < r(); ++j) parity[j] = rem[r() - 1 - j];
+  ComputeParityInto(data, parity);
   return parity;
 }
 
+void RsCode::EncodeInto(std::span<const Elem> data, std::span<Elem> out) const {
+  PAIR_CHECK(out.size() == n_, "EncodeInto output holds " << out.size()
+                                   << " symbols, expected " << n_);
+  ComputeParityInto(data, out.subspan(k_));
+  std::copy(data.begin(), data.end(), out.begin());
+}
+
 std::vector<Elem> RsCode::Encode(std::span<const Elem> data) const {
-  auto parity = ComputeParity(data);
   std::vector<Elem> cw(n_);
-  std::copy(data.begin(), data.end(), cw.begin());
-  std::copy(parity.begin(), parity.end(), cw.begin() + k_);
+  EncodeInto(data, cw);
   return cw;
 }
 
-std::vector<Elem> RsCode::ParityDelta(unsigned data_index, Elem delta) const {
+void RsCode::ParityDeltaInto(unsigned data_index, Elem delta,
+                             std::span<Elem> out) const {
   PAIR_CHECK(data_index < k_, "ParityDelta index " << data_index
                                   << " out of range for k = " << k_);
-  std::vector<Elem> out(r(), 0);
-  if (delta == 0) return out;
+  PAIR_CHECK(out.size() == r(), "ParityDelta output holds " << out.size()
+                                    << " symbols, expected " << r());
+  if (delta == 0) {
+    std::fill(out.begin(), out.end(), Elem{0});
+    return;
+  }
   const Poly& foot = monomial_rem_[data_index];
   for (unsigned j = 0; j < r(); ++j)
     out[j] = field_.Mul(delta, foot[r() - 1 - j]);
+}
+
+std::vector<Elem> RsCode::ParityDelta(unsigned data_index, Elem delta) const {
+  std::vector<Elem> out(r());
+  ParityDeltaInto(data_index, delta, out);
   return out;
 }
 
-std::vector<Elem> RsCode::Syndromes(std::span<const Elem> word) const {
+void RsCode::SyndromesInto(std::span<const Elem> word,
+                           std::span<Elem> out) const {
   PAIR_DCHECK(word.size() == n_, "syndrome input length " << word.size()
                                      << " != n = " << n_);
+  PAIR_DCHECK(out.size() == r(), "syndrome output length " << out.size()
+                                     << " != r = " << r());
   // S_j = c(alpha^(j+1)); with codeword index i at degree n-1-i, evaluate by
   // Horner over the word as written (highest degree first).
-  std::vector<Elem> syn(r());
   for (unsigned j = 0; j < r(); ++j) {
     const Elem a = field_.AlphaPow(j + 1);
     Elem acc = 0;
     for (unsigned i = 0; i < n_; ++i) acc = field_.Add(field_.Mul(acc, a), word[i]);
-    syn[j] = acc;
+    out[j] = acc;
   }
+}
+
+std::vector<Elem> RsCode::Syndromes(std::span<const Elem> word) const {
+  std::vector<Elem> syn(r());
+  SyndromesInto(word, syn);
   return syn;
 }
 
@@ -95,8 +125,40 @@ bool RsCode::IsCodeword(std::span<const Elem> word) const {
   return std::all_of(syn.begin(), syn.end(), [](Elem s) { return s == 0; });
 }
 
+bool RsCode::IsCodeword(std::span<const Elem> word,
+                        DecodeScratch& scratch) const {
+  if (word.size() != n_) return false;
+  scratch.syn.resize(r());
+  SyndromesInto(word, scratch.syn);
+  return std::all_of(scratch.syn.begin(), scratch.syn.end(),
+                     [](Elem s) { return s == 0; });
+}
+
 DecodeResult RsCode::Decode(std::span<Elem> word,
                             std::span<const unsigned> erasures) const {
+  DecodeScratch scratch;
+  DecodeResult result;
+  result.status = Decode(word, erasures, scratch);
+  if (result.status == DecodeStatus::kCorrected)
+    result.corrections = std::move(scratch.corrections);
+  return result;
+}
+
+namespace {
+
+/// a ^= b with zero-padding to max size, then normalized — the in-place
+/// equivalent of Add() that reuses a's capacity.
+void AddInPlace(Poly& a, const Poly& b) {
+  if (b.size() > a.size()) a.resize(b.size(), 0);
+  for (std::size_t i = 0; i < b.size(); ++i) a[i] ^= b[i];
+  Normalize(a);
+}
+
+}  // namespace
+
+DecodeStatus RsCode::Decode(std::span<Elem> word,
+                            std::span<const unsigned> erasures,
+                            DecodeScratch& sc) const {
   PAIR_CHECK(word.size() == n_, "Decode expects " << n_ << " symbols, got "
                                                   << word.size());
   for (unsigned e : erasures)
@@ -107,119 +169,127 @@ DecodeResult RsCode::Decode(std::span<Elem> word,
       PAIR_CHECK(erasures[i] != erasures[j],
                  "duplicate erasure index " << erasures[i]);
 
-  DecodeResult result;
-  const auto syn = Syndromes(word);
+  sc.corrections.clear();
+  sc.syn.resize(r());
+  SyndromesInto(word, sc.syn);
   const bool syn_zero =
-      std::all_of(syn.begin(), syn.end(), [](Elem s) { return s == 0; });
-  if (syn_zero && erasures.empty()) {
-    result.status = DecodeStatus::kNoError;
-    return result;
-  }
+      std::all_of(sc.syn.begin(), sc.syn.end(), [](Elem s) { return s == 0; });
+  if (syn_zero && erasures.empty()) return DecodeStatus::kNoError;
 
-  // Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^(n-1-pos).
-  Poly gamma = {1};
+  // Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^(n-1-pos),
+  // built up in place one binomial factor at a time.
+  sc.gamma.assign(1, 1);
   for (unsigned pos : erasures) {
     const Elem x_i = field_.AlphaPow(n_ - 1 - pos);
-    gamma = Mul(field_, gamma, Poly{1, x_i});
+    sc.gamma.push_back(0);
+    for (std::size_t j = sc.gamma.size() - 1; j >= 1; --j)
+      sc.gamma[j] ^= field_.Mul(x_i, sc.gamma[j - 1]);
   }
   const unsigned f = static_cast<unsigned>(erasures.size());
-  if (f > r()) {
-    result.status = DecodeStatus::kFailure;
-    return result;
-  }
+  if (f > r()) return DecodeStatus::kFailure;
   if (syn_zero) {
     // Erasures flagged but the word is already a codeword: nothing to fix.
-    result.status = DecodeStatus::kNoError;
-    return result;
+    return DecodeStatus::kNoError;
   }
 
   // Berlekamp-Massey seeded with the erasure locator.
-  Poly lambda = gamma;
-  Poly b_poly = gamma;
+  sc.lambda = sc.gamma;
+  sc.b_poly = sc.gamma;
   unsigned big_l = f;
   unsigned m_gap = 1;
   Elem b_disc = 1;
   for (unsigned iter = f; iter < r(); ++iter) {
     Elem delta = 0;
-    for (unsigned i = 0; i < lambda.size() && i <= iter; ++i)
-      delta ^= field_.Mul(lambda[i], syn[iter - i]);
+    for (unsigned i = 0; i < sc.lambda.size() && i <= iter; ++i)
+      delta ^= field_.Mul(sc.lambda[i], sc.syn[iter - i]);
     if (delta == 0) {
       ++m_gap;
       continue;
     }
-    const Poly adj = ShiftUp(Scale(field_, b_poly, field_.Div(delta, b_disc)), m_gap);
+    // adj = b_poly * (delta / b_disc) * x^m_gap. b_poly is nonzero (it is
+    // only ever seeded from Gamma or a lambda whose discrepancy was
+    // nonzero), so no normalization is needed here.
+    const Elem scale = field_.Div(delta, b_disc);
+    sc.adj.assign(sc.b_poly.size() + m_gap, 0);
+    for (std::size_t i = 0; i < sc.b_poly.size(); ++i)
+      sc.adj[i + m_gap] = field_.Mul(sc.b_poly[i], scale);
     if (2 * big_l <= iter + f) {
-      const Poly prev = lambda;
-      lambda = Add(lambda, adj);
+      sc.prev = sc.lambda;
+      AddInPlace(sc.lambda, sc.adj);
       big_l = iter + f + 1 - big_l;
-      b_poly = prev;
+      std::swap(sc.b_poly, sc.prev);
       b_disc = delta;
       m_gap = 1;
     } else {
-      lambda = Add(lambda, adj);
+      AddInPlace(sc.lambda, sc.adj);
       ++m_gap;
     }
   }
 
-  const int deg_lambda = Degree(lambda);
+  const int deg_lambda = Degree(sc.lambda);
   if (deg_lambda <= 0 || static_cast<unsigned>(deg_lambda) != big_l ||
       big_l > r()) {
-    result.status = DecodeStatus::kFailure;
-    return result;
+    return DecodeStatus::kFailure;
   }
 
   // Chien search restricted to the shortened code's valid positions. Roots
   // falling in the shortened-away region surface as a count mismatch below,
   // which is a genuine detection (the pattern is outside this code).
-  std::vector<unsigned> err_pos;
-  std::vector<Elem> err_xinv;
+  sc.err_pos.clear();
+  sc.err_xinv.clear();
   for (unsigned pos = 0; pos < n_; ++pos) {
     const unsigned e = n_ - 1 - pos;  // degree exponent of this position
     const Elem x_inv =
         e == 0 ? Elem{1} : field_.AlphaPow(field_.Order() - e);
-    if (Eval(field_, lambda, x_inv) == 0) {
-      err_pos.push_back(pos);
-      err_xinv.push_back(x_inv);
+    if (Eval(field_, sc.lambda, x_inv) == 0) {
+      sc.err_pos.push_back(pos);
+      sc.err_xinv.push_back(x_inv);
     }
   }
-  if (err_pos.size() != static_cast<std::size_t>(deg_lambda)) {
-    result.status = DecodeStatus::kFailure;
-    return result;
+  if (sc.err_pos.size() != static_cast<std::size_t>(deg_lambda)) {
+    return DecodeStatus::kFailure;
   }
 
   // Forney: Omega(x) = S(x) * Lambda(x) mod x^r; Y_i = Omega(Xinv)/Lambda'(Xinv).
-  Poly s_poly(syn.begin(), syn.end());
-  Normalize(s_poly);
-  Poly omega = Mul(field_, s_poly, lambda);
-  if (omega.size() > r()) omega.resize(r());
-  Normalize(omega);
-  const Poly lambda_prime = Derivative(lambda);
+  sc.s_poly.assign(sc.syn.begin(), sc.syn.end());
+  Normalize(sc.s_poly);
+  // omega = s_poly * lambda (schoolbook, into the scratch buffer; both
+  // factors are nonzero here — syndromes are nonzero and deg(lambda) >= 1).
+  sc.omega.assign(sc.s_poly.size() + sc.lambda.size() - 1, 0);
+  for (std::size_t i = 0; i < sc.s_poly.size(); ++i) {
+    if (sc.s_poly[i] == 0) continue;
+    for (std::size_t j = 0; j < sc.lambda.size(); ++j)
+      sc.omega[i + j] ^= field_.Mul(sc.s_poly[i], sc.lambda[j]);
+  }
+  if (sc.omega.size() > r()) sc.omega.resize(r());
+  Normalize(sc.omega);
+  // lambda_prime = Derivative(lambda): odd-degree coefficients shift down.
+  sc.lambda_prime.assign(sc.lambda.size() - 1, 0);
+  for (std::size_t i = 1; i < sc.lambda.size(); i += 2)
+    sc.lambda_prime[i - 1] = sc.lambda[i];
+  Normalize(sc.lambda_prime);
 
-  std::vector<Correction> corrections;
-  corrections.reserve(err_pos.size());
-  for (std::size_t i = 0; i < err_pos.size(); ++i) {
-    const Elem denom = Eval(field_, lambda_prime, err_xinv[i]);
-    if (denom == 0) {
-      result.status = DecodeStatus::kFailure;
-      return result;
-    }
-    const Elem magnitude = field_.Div(Eval(field_, omega, err_xinv[i]), denom);
-    if (magnitude != 0)
-      corrections.push_back({err_pos[i], magnitude});
+  for (std::size_t i = 0; i < sc.err_pos.size(); ++i) {
+    const Elem denom = Eval(field_, sc.lambda_prime, sc.err_xinv[i]);
+    if (denom == 0) return DecodeStatus::kFailure;
+    const Elem magnitude =
+        field_.Div(Eval(field_, sc.omega, sc.err_xinv[i]), denom);
+    if (magnitude != 0) sc.corrections.push_back({sc.err_pos[i], magnitude});
   }
 
   // Apply and re-verify; a non-codeword after "correction" means the decoder
   // was fooled by a heavy pattern — report it as detected, not corrected.
-  for (const auto& c : corrections) word[c.position] ^= c.magnitude;
-  if (!IsCodeword(word)) {
-    for (const auto& c : corrections) word[c.position] ^= c.magnitude;
-    result.status = DecodeStatus::kFailure;
-    return result;
+  for (const auto& c : sc.corrections) word[c.position] ^= c.magnitude;
+  SyndromesInto(word, sc.syn);
+  const bool verified =
+      std::all_of(sc.syn.begin(), sc.syn.end(), [](Elem s) { return s == 0; });
+  if (!verified) {
+    for (const auto& c : sc.corrections) word[c.position] ^= c.magnitude;
+    sc.corrections.clear();
+    return DecodeStatus::kFailure;
   }
 
-  result.status = DecodeStatus::kCorrected;
-  result.corrections = std::move(corrections);
-  return result;
+  return DecodeStatus::kCorrected;
 }
 
 }  // namespace pair_ecc::rs

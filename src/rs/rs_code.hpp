@@ -48,6 +48,28 @@ struct DecodeResult {
   }
 };
 
+/// Reusable decoder workspace. A scheme keeps one per codec and threads it
+/// through every Decode call; after the first call the buffers have reached
+/// their steady-state capacity and the *clean* decode path (all syndromes
+/// zero — the overwhelmingly common case in reliability sweeps) performs no
+/// heap allocation at all. The error path reuses the same buffers and only
+/// grows them on the first pattern that needs more room.
+///
+/// Not thread-safe: one scratch per thread (the trial engine gives every
+/// worker its own Scheme instance, which owns its own scratch).
+struct DecodeScratch {
+  std::vector<Elem> syn;                 // r syndromes
+  std::vector<Correction> corrections;   // valid after kCorrected
+  // Berlekamp-Massey / Chien / Forney workspace.
+  Poly gamma, lambda, b_poly, adj, prev, s_poly, omega, lambda_prime;
+  std::vector<unsigned> err_pos;
+  std::vector<Elem> err_xinv;
+
+  unsigned NumCorrected() const noexcept {
+    return static_cast<unsigned>(corrections.size());
+  }
+};
+
 class RsCode {
  public:
   /// Builds an (n, k) shortened RS code over `field`. Requires
@@ -80,8 +102,17 @@ class RsCode {
   /// Systematic encode: returns the n-symbol codeword [data | parity].
   std::vector<Elem> Encode(std::span<const Elem> data) const;
 
+  /// Allocation-free encode: writes the n-symbol codeword [data | parity]
+  /// into `out` (out.size() == n). `out` may not alias `data`.
+  void EncodeInto(std::span<const Elem> data, std::span<Elem> out) const;
+
   /// Computes just the r parity symbols for `data`.
   std::vector<Elem> ComputeParity(std::span<const Elem> data) const;
+
+  /// Allocation-free parity: writes the r check symbols into `parity`
+  /// (parity.size() == r).
+  void ComputeParityInto(std::span<const Elem> data,
+                         std::span<Elem> parity) const;
 
   /// Parity contribution of setting data symbol `data_index` to value
   /// `delta` relative to its previous value (delta = old XOR new). XOR the
@@ -89,8 +120,18 @@ class RsCode {
   /// k-1 data symbols. O(r) per changed symbol.
   std::vector<Elem> ParityDelta(unsigned data_index, Elem delta) const;
 
+  /// Allocation-free variant of ParityDelta (out.size() == r).
+  void ParityDeltaInto(unsigned data_index, Elem delta,
+                       std::span<Elem> out) const;
+
+  /// Writes the r syndromes of `word` (n symbols) into `out` (size r).
+  void SyndromesInto(std::span<const Elem> word, std::span<Elem> out) const;
+
   /// True iff `word` (n symbols) is a codeword (all syndromes zero).
   bool IsCodeword(std::span<const Elem> word) const;
+
+  /// Allocation-free codeword check through a reusable scratch.
+  bool IsCodeword(std::span<const Elem> word, DecodeScratch& scratch) const;
 
   /// Decodes in place. `erasures` lists codeword indices flagged as unreliable
   /// (e.g. a DQ pin known bad); duplicates/out-of-range entries are invalid.
@@ -99,6 +140,13 @@ class RsCode {
   /// the syndromes; verification failure downgrades to kFailure.
   DecodeResult Decode(std::span<Elem> word,
                       std::span<const unsigned> erasures = {}) const;
+
+  /// Scratch-based decode: identical algorithm and results, but all working
+  /// memory lives in `scratch`. On kCorrected the applied corrections are in
+  /// scratch.corrections (cleared on every call). The clean path performs no
+  /// allocation once the scratch is warm.
+  DecodeStatus Decode(std::span<Elem> word, std::span<const unsigned> erasures,
+                      DecodeScratch& scratch) const;
 
   /// Generator polynomial (ascending degree), degree r.
   const Poly& Generator() const noexcept { return generator_; }

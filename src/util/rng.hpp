@@ -13,6 +13,44 @@
 
 namespace pair_ecc::util {
 
+/// SplitMix64 (Steele, Lea & Flood): a 64-bit counter-based mixer. One
+/// `Mix` application is a full avalanche, so `Mix(seed + i * kGamma)` is a
+/// random-access ("counter-style") stream — element i is computable without
+/// generating elements 0..i-1. This is the primitive both Xoshiro256 state
+/// expansion and the trial engine's per-trial stream derivation build on.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+
+  explicit SplitMix64(std::uint64_t seed = 0) noexcept : x_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// The stateless mixing function: finalizes one counter value.
+  static constexpr std::uint64_t Mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  result_type operator()() noexcept { return Mix(x_ += kGamma); }
+
+  /// Element `index` of the stream seeded with `seed`, in O(1) — what a
+  /// sharded worker calls to land mid-stream without replaying the prefix.
+  static constexpr std::uint64_t At(std::uint64_t seed,
+                                    std::uint64_t index) noexcept {
+    return Mix(seed + (index + 1) * kGamma);
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
 /// Xoshiro256** PRNG (Blackman & Vigna). Satisfies
 /// std::uniform_random_bit_generator so it can drive <random> distributions.
 class Xoshiro256 {
@@ -22,15 +60,8 @@ class Xoshiro256 {
   /// Seeds the four 64-bit words of state from a single seed value using
   /// SplitMix64, per the reference implementation's recommendation.
   explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
-    std::uint64_t x = seed;
-    for (auto& word : state_) {
-      // SplitMix64 step.
-      x += 0x9E3779B97F4A7C15ull;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      word = z ^ (z >> 31);
-    }
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
   }
 
   static constexpr result_type min() noexcept { return 0; }

@@ -1,0 +1,194 @@
+// TrialEngine determinism contract (see src/reliability/engine.hpp).
+//
+// The engine promises bitwise-identical results for any thread count,
+// including threads=1 matching the pre-engine serial implementation. The
+// golden table below was pinned from that serial implementation (the
+// pre-refactor trial loop with `master.Fork()` per trial); any drift in the
+// per-trial RNG derivation, shard grouping, or merge order fails here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/engine.hpp"
+#include "reliability/lifetime.hpp"
+#include "reliability/monte_carlo.hpp"
+
+namespace pair_ecc::reliability {
+namespace {
+
+ScenarioConfig GoldenConfig(ecc::SchemeKind kind, unsigned threads) {
+  ScenarioConfig cfg;
+  cfg.scheme = kind;
+  cfg.mix = faults::FaultMix::Inherent();
+  cfg.faults_per_trial = 2;
+  cfg.working_rows = 1;
+  cfg.lines_per_row = 4;
+  cfg.seed = 0xD5EED;
+  cfg.threads = threads;
+  return cfg;
+}
+
+constexpr unsigned kGoldenTrials = 48;
+
+struct GoldenRow {
+  ecc::SchemeKind kind;
+  std::uint64_t trials, reads, no_error, corrected, due, sdc_miscorrected,
+      sdc_undetected, trials_with_sdc, trials_with_due, trials_with_failure;
+};
+
+// Pinned from the serial implementation predating the trial engine.
+constexpr GoldenRow kGolden[] = {
+    {ecc::SchemeKind::kNoEcc,       48, 192, 136, 0, 0, 0, 56, 14, 0, 14},
+    {ecc::SchemeKind::kIecc,        48, 192, 136, 0, 32, 24, 0, 13, 13, 14},
+    {ecc::SchemeKind::kSecDed,      48, 192, 136, 24, 32, 0, 0, 0, 8, 8},
+    {ecc::SchemeKind::kIeccSecDed,  48, 192, 136, 10, 46, 0, 0, 0, 14, 14},
+    {ecc::SchemeKind::kXed,         48, 192, 136, 29, 1, 26, 0, 13, 1, 13},
+    {ecc::SchemeKind::kDuo,         48, 192, 136, 24, 32, 0, 0, 0, 8, 8},
+    {ecc::SchemeKind::kPair2,       48, 192, 20, 76, 96, 0, 0, 0, 24, 24},
+    {ecc::SchemeKind::kPair4,       48, 192, 20, 116, 56, 0, 0, 0, 14, 14},
+    {ecc::SchemeKind::kPair4SecDed, 48, 192, 20, 116, 56, 0, 0, 0, 14, 14},
+};
+
+TEST(EngineGolden, SerialMatchesPreEngineImplementation) {
+  for (const auto& g : kGolden) {
+    const OutcomeCounts c =
+        RunMonteCarlo(GoldenConfig(g.kind, /*threads=*/1), kGoldenTrials);
+    SCOPED_TRACE(ecc::ToString(g.kind));
+    EXPECT_EQ(c.trials, g.trials);
+    EXPECT_EQ(c.reads, g.reads);
+    EXPECT_EQ(c.no_error, g.no_error);
+    EXPECT_EQ(c.corrected, g.corrected);
+    EXPECT_EQ(c.due, g.due);
+    EXPECT_EQ(c.sdc_miscorrected, g.sdc_miscorrected);
+    EXPECT_EQ(c.sdc_undetected, g.sdc_undetected);
+    EXPECT_EQ(c.trials_with_sdc, g.trials_with_sdc);
+    EXPECT_EQ(c.trials_with_due, g.trials_with_due);
+    EXPECT_EQ(c.trials_with_failure, g.trials_with_failure);
+  }
+}
+
+TEST(EngineDeterminism, MonteCarloBitwiseEqualAcrossThreadCounts) {
+  for (const auto kind : ecc::AllSchemeKinds()) {
+    SCOPED_TRACE(ecc::ToString(kind));
+    const OutcomeCounts serial =
+        RunMonteCarlo(GoldenConfig(kind, /*threads=*/1), kGoldenTrials);
+    for (unsigned threads : {2u, 8u}) {
+      const OutcomeCounts parallel =
+          RunMonteCarlo(GoldenConfig(kind, threads), kGoldenTrials);
+      EXPECT_EQ(parallel, serial) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(EngineDeterminism, TrialCountNotAMultipleOfShardSize) {
+  // 19 trials = one full shard + a 3-trial tail; exercises the partial-shard
+  // edge in both serial and pooled modes.
+  const auto cfg1 = GoldenConfig(ecc::SchemeKind::kPair4, 1);
+  const auto cfg8 = GoldenConfig(ecc::SchemeKind::kPair4, 8);
+  EXPECT_EQ(RunMonteCarlo(cfg1, 19), RunMonteCarlo(cfg8, 19));
+}
+
+TEST(EngineDeterminism, LifetimeBitwiseEqualAcrossThreadCounts) {
+  LifetimeConfig cfg;
+  cfg.scheme = ecc::SchemeKind::kPair4;
+  cfg.epochs = 12;
+  cfg.faults_per_epoch = 0.4;
+  cfg.scrub_interval = 4;
+  cfg.seed = 0xD5EED;
+  cfg.threads = 1;
+  const LifetimeStats serial = RunLifetime(cfg, 40);
+  for (unsigned threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const LifetimeStats parallel = RunLifetime(cfg, 40);
+    EXPECT_EQ(parallel.trials, serial.trials) << "threads=" << threads;
+    EXPECT_EQ(parallel.trials_with_sdc, serial.trials_with_sdc);
+    EXPECT_EQ(parallel.trials_with_due, serial.trials_with_due);
+    EXPECT_EQ(parallel.total_corrections, serial.total_corrections);
+    EXPECT_EQ(parallel.total_scrub_writebacks, serial.total_scrub_writebacks);
+    // Bitwise, not approximate: the engine's fixed shard grouping makes even
+    // the floating-point mean reproducible.
+    EXPECT_EQ(parallel.mean_sdc_epoch, serial.mean_sdc_epoch);
+  }
+}
+
+// A custom accumulator through the generic Run(): per-trial first draws,
+// summed. Checks seeds are per-trial (not per-worker) and the merge is in
+// shard order.
+struct DrawSum {
+  std::uint64_t xor_all = 0;
+  std::uint64_t count = 0;
+  DrawSum& operator+=(const DrawSum& o) noexcept {
+    xor_all ^= o.xor_all;
+    count += o.count;
+    return *this;
+  }
+};
+
+TEST(EngineGeneric, CustomAccumulatorIsThreadCountInvariant) {
+  constexpr std::uint64_t kTrials = 100;  // 6 shards + partial tail
+  auto body = [](std::uint64_t trial, util::Xoshiro256& rng, DrawSum& acc) {
+    acc.xor_all ^= rng() * (trial + 1);
+    ++acc.count;
+  };
+  const DrawSum serial = TrialEngine(1).Run<DrawSum>(123, kTrials, body);
+  EXPECT_EQ(serial.count, kTrials);
+  for (unsigned threads : {2u, 3u, 8u, 16u}) {
+    const DrawSum parallel =
+        TrialEngine(threads).Run<DrawSum>(123, kTrials, body);
+    EXPECT_EQ(parallel.xor_all, serial.xor_all) << "threads=" << threads;
+    EXPECT_EQ(parallel.count, serial.count) << "threads=" << threads;
+  }
+}
+
+TEST(EngineGeneric, SeedChangesResults) {
+  auto body = [](std::uint64_t, util::Xoshiro256& rng, DrawSum& acc) {
+    acc.xor_all ^= rng();
+    ++acc.count;
+  };
+  const DrawSum a = TrialEngine(4).Run<DrawSum>(1, 64, body);
+  const DrawSum b = TrialEngine(4).Run<DrawSum>(2, 64, body);
+  EXPECT_NE(a.xor_all, b.xor_all);
+}
+
+TEST(EngineGeneric, PerTrialStreamMatchesSerialForkSequence) {
+  // The contract: trial i's stream is Xoshiro256(s_i) where s_i is the i-th
+  // output of Xoshiro256(seed) — exactly the old serial `master.Fork()`.
+  constexpr std::uint64_t kSeed = 0xFEED;
+  util::Xoshiro256 master(kSeed);
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 40; ++i) {
+    util::Xoshiro256 forked = master.Fork();
+    expect.push_back(forked());
+  }
+  std::vector<std::uint64_t> got(expect.size());
+  TrialEngine(8).Run<DrawSum>(
+      kSeed, expect.size(),
+      [&got](std::uint64_t trial, util::Xoshiro256& rng, DrawSum&) {
+        got[trial] = rng();
+      });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EngineConfig, ResolveThreads) {
+  EXPECT_EQ(TrialEngine::ResolveThreads(3), 3u);
+  EXPECT_GE(TrialEngine::ResolveThreads(0), 1u);
+  EXPECT_EQ(TrialEngine(5).threads(), 5u);
+}
+
+TEST(EngineWorkingSet, MatchesDocumentedLayout) {
+  dram::RankGeometry geometry;
+  const auto ws = MakeWorkingSet(geometry, 3, 4, 37, 11);
+  ASSERT_EQ(ws.rows.size(), 3u);
+  const auto& g = geometry.device;
+  EXPECT_EQ(ws.rows[0].bank, 0u);
+  EXPECT_EQ(ws.rows[0].row, 11u % g.rows_per_bank);
+  EXPECT_EQ(ws.rows[2].bank, 2u % g.banks);
+  EXPECT_EQ(ws.rows[2].row, (2u * 37 + 11) % g.rows_per_bank);
+  ASSERT_EQ(ws.cols.size(), 4u);
+  EXPECT_EQ(ws.cols[0], 0u);
+  EXPECT_EQ(ws.cols[1], g.ColumnsPerRow() / 4);
+}
+
+}  // namespace
+}  // namespace pair_ecc::reliability

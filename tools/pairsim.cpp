@@ -3,11 +3,14 @@
 //   pairsim codes
 //       Print every scheme's code configuration and overheads.
 //   pairsim reliability [--scheme S] [--mix M] [--faults N] [--trials T]
-//                       [--seed X]
+//                       [--seed X] [--threads W]
 //       Single-shot Monte-Carlo outcome breakdown.
 //   pairsim lifetime    [--scheme S] [--epochs E] [--rate R] [--scrub K]
-//                       [--trials T] [--seed X]
+//                       [--trials T] [--seed X] [--threads W]
 //       Fault accumulation over a deployment window with patrol scrubbing.
+//
+// Monte-Carlo commands shard trials over --threads workers (default: all
+// hardware threads); results are bitwise identical for any thread count.
 //   pairsim perf        [--scheme S] [--pattern P] [--reads F]
 //                       [--requests N] [--intensity I] [--seed X]
 //                       [--trace FILE] [--save-trace FILE]
@@ -16,6 +19,8 @@
 // Schemes:  noecc iecc secded iecc+secded xed duo pair2 pair4 pair4+secded
 // Mixes:    inherent cellonly clustered
 // Patterns: stream random hotspot
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -24,6 +29,7 @@
 
 #include "dram/rank.hpp"
 #include "ecc/scheme.hpp"
+#include "reliability/engine.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "timing/controller.hpp"
@@ -141,10 +147,21 @@ int CmdReliability(Args& args) {
   cfg.mix = ParseMix(args.Get("mix", "inherent"));
   cfg.faults_per_trial = args.GetUnsigned("faults", 2);
   cfg.seed = args.GetU64("seed", 1);
+  cfg.threads = args.GetUnsigned("threads", 0);
   const unsigned trials = args.GetUnsigned("trials", 500);
   args.CheckAllConsumed();
 
+  const auto start = std::chrono::steady_clock::now();
   const auto c = reliability::RunMonteCarlo(cfg, trials);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::cout << "threads " << reliability::TrialEngine::ResolveThreads(cfg.threads)
+            << ", " << trials << " trials in "
+            << util::Table::Fixed(elapsed.count(), 2) << " s ("
+            << util::Table::Fixed(
+                   static_cast<double>(trials) /
+                       std::max(elapsed.count(), 1e-9), 1)
+            << " trials/sec)\n";
   util::Table t({"metric", "value"});
   const auto frac = [&](std::uint64_t v) {
     return util::Table::Sci(static_cast<double>(v) /
@@ -173,10 +190,21 @@ int CmdLifetime(Args& args) {
   cfg.faults_per_epoch = args.GetDouble("rate", 0.1);
   cfg.scrub_interval = args.GetUnsigned("scrub", 0);
   cfg.seed = args.GetU64("seed", 1);
+  cfg.threads = args.GetUnsigned("threads", 0);
   const unsigned trials = args.GetUnsigned("trials", 200);
   args.CheckAllConsumed();
 
+  const auto start = std::chrono::steady_clock::now();
   const auto s = reliability::RunLifetime(cfg, trials);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::cout << "threads " << reliability::TrialEngine::ResolveThreads(cfg.threads)
+            << ", " << trials << " trials in "
+            << util::Table::Fixed(elapsed.count(), 2) << " s ("
+            << util::Table::Fixed(
+                   static_cast<double>(trials) /
+                       std::max(elapsed.count(), 1e-9), 1)
+            << " trials/sec)\n";
   util::Table t({"metric", "value"});
   t.AddRow({"trials", std::to_string(s.trials)});
   t.AddRow({"P(SDC) within horizon", util::Table::Sci(s.SdcProbability())});
@@ -250,7 +278,9 @@ int Usage() {
       << "usage: pairsim <codes|reliability|lifetime|perf> [--flag value]...\n"
          "  pairsim codes\n"
          "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
+         "                      [--threads 8]\n"
          "  pairsim lifetime --scheme pair4 --epochs 50 --rate 0.1 --scrub 8\n"
+         "                   [--threads 8]\n"
          "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n";
   return 2;
 }
