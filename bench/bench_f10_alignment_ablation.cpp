@@ -73,7 +73,7 @@ Cell RunThreat(const SchemeFactory& make, faults::FaultType threat,
 }  // namespace
 
 int main() {
-  bench::PrintHeader("F10", "alignment x code ablation (2x2 matrix)");
+  bench::BenchReport report("F10", "alignment x code ablation (2x2 matrix)");
 
   const std::pair<const char*, SchemeFactory> corners[] = {
       {"SEC / interleaved (IECC)",
@@ -103,7 +103,7 @@ int main() {
       {"pin", faults::FaultType::kSinglePin},
       {"word", faults::FaultType::kSingleWord},
   };
-  constexpr unsigned kTrials = 250;
+  const unsigned kTrials = report.Trials(250);
 
   util::Table t({"scheme (code / layout)", "threat", "delivered", "DUE",
                  "SDC"});
@@ -117,7 +117,7 @@ int main() {
                 util::Table::Fixed(cell.sdc, 3)});
     }
   }
-  bench::Emit(t);
+  report.Emit("alignment_ablation", t);
 
   std::cout << "Shape check: only the RS+pin-aligned corner (PAIR) delivers\n"
                "correct data through bursts AND keeps clustered faults out\n"

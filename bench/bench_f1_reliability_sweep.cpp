@@ -13,9 +13,10 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("F1", "reliability vs inherent fault rate (mix: field)");
+  bench::BenchReport report("F1",
+                            "reliability vs inherent fault rate (mix: field)");
 
-  const unsigned kTrials = bench::TrialsFromEnv(500);
+  const unsigned kTrials = report.Trials(500);
   constexpr unsigned kMaxFaults = 4;
   const double lambdas[] = {0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
 
@@ -51,9 +52,9 @@ int main() {
 
   std::cout << "-- conditional rates (N exact faults, " << kTrials
             << " trials each) --\n";
-  bench::Emit(cond);
+  report.Emit("conditional_rates", cond);
   std::cout << "-- Poisson-combined sweep --\n";
-  bench::Emit(t);
+  report.Emit("poisson_sweep", t);
 
   std::cout << "Shape check: PAIR-4's SDC stays orders of magnitude below\n"
                "XED/IECC across the sweep; DUO's SDC is comparable to PAIR\n"

@@ -27,9 +27,10 @@ faults::FaultMix PureMix(faults::FaultType type) {
 }  // namespace
 
 int main() {
-  bench::PrintHeader("F2", "outcome breakdown per fault class (1 fault/trial)");
+  bench::BenchReport report(
+      "F2", "outcome breakdown per fault class (1 fault/trial)");
 
-  const unsigned kTrials = bench::TrialsFromEnv(400);
+  const unsigned kTrials = report.Trials(400);
   const faults::FaultType classes[] = {
       faults::FaultType::kSingleBit, faults::FaultType::kSingleWord,
       faults::FaultType::kSinglePin, faults::FaultType::kSingleRow,
@@ -57,7 +58,7 @@ int main() {
                 frac(c.sdc_undetected)});
     }
   }
-  bench::Emit(t);
+  report.Emit("fault_breakdown", t);
 
   std::cout << "Shape check: single-bit -> everyone corrects. word/pin ->\n"
                "IECC/XED shift mass into SDC(miscorr); PAIR shifts it into\n"

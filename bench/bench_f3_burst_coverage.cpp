@@ -18,9 +18,10 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("F3", "burst-error coverage vs burst length (beats)");
+  bench::BenchReport report("F3",
+                            "burst-error coverage vs burst length (beats)");
 
-  constexpr unsigned kTrials = 300;
+  const unsigned kTrials = report.Trials(300);
   const unsigned lengths[] = {1, 2, 4, 8, 9, 12, 16, 24, 32};
   const ecc::SchemeKind schemes[] = {
       ecc::SchemeKind::kIecc, ecc::SchemeKind::kSecDed, ecc::SchemeKind::kXed,
@@ -79,7 +80,7 @@ int main() {
                 frac(sdc)});
     }
   }
-  bench::Emit(t);
+  report.Emit("burst_coverage", t);
 
   std::cout << "Shape check: PAIR-4 delivers correct data for every burst\n"
                "<= 9 beats and degrades to DUE (never SDC-heavy) beyond;\n"

@@ -28,7 +28,8 @@ struct WorkloadSpec {
 }  // namespace
 
 int main() {
-  bench::PrintHeader("F4", "performance, normalised to No-ECC");
+  bench::BenchReport report("F4", "performance, normalised to No-ECC");
+  report.MetaInt("num_requests", 30000);
 
   const WorkloadSpec loads[] = {
       {"stream-read (RF=0.9)", workload::Pattern::kStream, 0.9, 0.25},
@@ -82,7 +83,7 @@ int main() {
                 std::to_string(stats.cycles)});
     }
   }
-  bench::Emit(t);
+  report.Emit("performance", t);
 
   // Geometric mean across workloads, and the PAIR-vs-XED headline ratio.
   auto geomean = [](const std::vector<double>& v) {
@@ -96,7 +97,7 @@ int main() {
     avg_t.AddRow({ecc::ToString(kind), util::Table::Fixed(gm, 3),
                   util::Table::Fixed(gm / xed_gm, 3)});
   }
-  bench::Emit(avg_t);
+  report.Emit("geomean", avg_t);
 
   std::cout << "Shape check: PAIR-4 ~= DUO overall (PAIR trades DUO's burst\n"
                "extension for in-DRAM decode latency) and clearly ahead of\n"

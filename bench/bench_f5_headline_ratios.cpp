@@ -27,7 +27,8 @@ double SdcOrUpperBound(const reliability::OutcomeCounts& c) {
 }  // namespace
 
 int main() {
-  bench::PrintHeader("F5", "headline reliability ratios (PAIR-4 vs baselines)");
+  bench::BenchReport report(
+      "F5", "headline reliability ratios (PAIR-4 vs baselines)");
 
   struct Scenario {
     const char* name;
@@ -40,7 +41,7 @@ int main() {
       {"cell-only, 4 faults", faults::FaultMix::CellOnly(), 4},
       {"clustered, 2 faults", faults::FaultMix::Clustered(), 2},
   };
-  const unsigned kTrials = bench::TrialsFromEnv(1500);
+  const unsigned kTrials = report.Trials(1500);
 
   util::Table t({"scenario", "scheme", "P(SDC)/trial", "P(fail)/trial",
                  "PAIR-4 SDC advantage"});
@@ -79,7 +80,7 @@ int main() {
                 util::Table::Sci(counts.TrialFailureRate()), advantage});
     }
   }
-  bench::Emit(t);
+  report.Emit("headline_ratios", t);
 
   // Where "up to 10^6" lives: the analytic cell-fault model. XED/IECC SDC
   // needs a PAIR of faults in one of 64 on-die words (then ~88%
@@ -108,7 +109,7 @@ int main() {
                 util::Table::Sci(p_iecc / std::max(p_pair, 1e-300))});
     }
     std::cout << "-- analytic cell-fault scaling (overwhelm x miscorrect) --\n";
-    bench::Emit(a);
+    report.Emit("analytic_scaling", a);
   }
 
   std::cout << "Shape check: XED's SDC sits orders of magnitude above\n"

@@ -13,7 +13,8 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("F6", "PAIR write-path ablation (delta vs RMW)");
+  bench::BenchReport report("F6", "PAIR write-path ablation (delta vs RMW)");
+  report.MetaInt("num_requests", 30000);
 
   const timing::TimingParams params = timing::TimingParams::Ddr4_3200();
   const double write_fractions[] = {0.1, 0.3, 0.5, 0.7};
@@ -61,7 +62,7 @@ int main() {
                 std::to_string(stats.cycles)});
     }
   }
-  bench::Emit(t);
+  report.Emit("write_ablation", t);
 
   std::cout << "Shape check: the delta-parity path tracks No-ECC at every\n"
                "write fraction; the RMW variants fall away as writes grow —\n"

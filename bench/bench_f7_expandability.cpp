@@ -15,9 +15,9 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("F7", "RS expandability sweep: k at fixed r = 4");
+  bench::BenchReport report("F7", "RS expandability sweep: k at fixed r = 4");
 
-  constexpr unsigned kTrials = 400;
+  const unsigned kTrials = report.Trials(400);
   const unsigned ks[] = {16, 32, 64, 128};
 
   util::Table t({"k (data sym)", "code", "storage ovh", "cw/pin",
@@ -79,7 +79,7 @@ int main() {
               util::Table::Fixed(static_cast<double>(sdc_trials) / kTrials, 4),
               util::Table::Fixed(static_cast<double>(due_trials) / kTrials, 4)});
   }
-  bench::Emit(t);
+  report.Emit("expandability", t);
 
   std::cout << "Shape check: overhead halves with each doubling of k (the\n"
                "benefit of expansion) while miscorrection exposure grows\n"

@@ -27,9 +27,10 @@ dram::RankGeometry WidthGeometry(unsigned pins) {
 }  // namespace
 
 int main() {
-  bench::PrintHeader("F8", "PAIR-4 across device widths (x4 / x8 / x16)");
+  bench::BenchReport report("F8",
+                            "PAIR-4 across device widths (x4 / x8 / x16)");
 
-  constexpr unsigned kTrials = 250;
+  const unsigned kTrials = report.Trials(250);
   util::Table t({"width", "devices", "cw/pin", "parity bits/row",
                  "pin fault DUE", "pin fault SDC", "8-beat burst delivered"});
 
@@ -87,7 +88,7 @@ int main() {
               util::Table::Fixed(static_cast<double>(pin_sdc) / kTrials, 3),
               util::Table::Fixed(static_cast<double>(burst_ok) / kTrials, 3)});
   }
-  bench::Emit(t);
+  report.Emit("device_width", t);
 
   std::cout << "Shape check: every width tiles its pin lines into RS(68,64)\n"
                "codewords at exactly 512 parity bits per row (6.25%); pin\n"

@@ -12,9 +12,10 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("F9", "scrub interval vs lifetime SDC (cell-only mix)");
+  bench::BenchReport report("F9",
+                            "scrub interval vs lifetime SDC (cell-only mix)");
 
-  constexpr unsigned kTrials = 100;
+  const unsigned kTrials = report.Trials(100);
   const unsigned intervals[] = {0, 16, 4};  // 0 = never
   const ecc::SchemeKind schemes[] = {
       ecc::SchemeKind::kIecc, ecc::SchemeKind::kXed, ecc::SchemeKind::kDuo,
@@ -43,7 +44,7 @@ int main() {
                 std::to_string(s.total_corrections)});
     }
   }
-  bench::Emit(t);
+  report.Emit("scrubbing", t);
 
   std::cout << "Shape check: IECC/XED lifetime SDC drops sharply with\n"
                "aggressive scrubbing (their SDC is an accumulation product);\n"

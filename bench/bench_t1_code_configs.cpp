@@ -10,7 +10,7 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("T1", "code configurations");
+  bench::BenchReport report("T1", "code configurations");
 
   util::Table t({"scheme", "code", "symbol", "t (guar.)", "codeword span",
                  "parity location", "overhead"});
@@ -54,7 +54,7 @@ int main() {
               util::Table::Fixed(p->code().Overhead() * 100, 2) + "%"});
   }
 
-  bench::Emit(t);
+  report.Emit("code_configs", t);
 
   std::cout << "Expandability headroom: the PAIR-4 generator serves any k up "
                "to "

@@ -14,7 +14,10 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("T2", "miscorrection probability vs error multiplicity");
+  bench::BenchReport report(
+      "T2", "miscorrection probability vs error multiplicity");
+  const unsigned kPatterns = report.Trials(100000);
+  report.MetaInt("patterns_per_cell", kPatterns);
 
   {
     util::Table t({"code", "double-error miscorrection", "method"});
@@ -26,7 +29,7 @@ int main() {
     t.AddRow({"SECDED (72,64)",
               util::Table::Fixed(secded.DoubleErrorMiscorrectionRate(), 4),
               "exact (all pairs)"});
-    bench::Emit(t);
+    report.Emit("hamming_exact", t);
   }
 
   {
@@ -43,14 +46,14 @@ int main() {
     };
     for (const auto& row : rows) {
       for (unsigned e = 1; e <= row.code.t() + 2; ++e) {
-        const auto b = reliability::RsErrorBreakdown(row.code, e, 100000,
+        const auto b = reliability::RsErrorBreakdown(row.code, e, kPatterns,
                                                      bench::kBenchSeed + e);
         t.AddRow({row.name, std::to_string(e), util::Table::Fixed(b.corrected, 4),
                   util::Table::Sci(b.miscorrected), util::Table::Fixed(b.detected, 4),
                   util::Table::Sci(b.undetected)});
       }
     }
-    bench::Emit(t);
+    report.Emit("rs_breakdown", t);
   }
 
   {
@@ -61,7 +64,7 @@ int main() {
         reliability::RsRandomWordMiscorrectionBound(rs::RsCode::Gf256(68, 64)))});
     t.AddRow({"DUO RS(76,64)", util::Table::Sci(
         reliability::RsRandomWordMiscorrectionBound(rs::RsCode::Gf256(76, 64)))});
-    bench::Emit(t);
+    report.Emit("garbage_bound", t);
   }
 
   std::cout << "Shape check: the SEC code miscorrects the majority of double\n"

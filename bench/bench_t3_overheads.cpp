@@ -9,7 +9,7 @@
 using namespace pair_ecc;
 
 int main() {
-  bench::PrintHeader("T3", "per-scheme mechanical overheads");
+  bench::BenchReport report("T3", "per-scheme mechanical overheads");
 
   const timing::TimingParams params = timing::TimingParams::Ddr4_3200();
   util::Table t({"scheme", "storage ovh", "extra rd beats", "extra wr beats",
@@ -34,7 +34,7 @@ int main() {
               util::Table::Fixed(p.write_encode_ns, 1) + " / " +
                   std::to_string(st.write_encode)});
   }
-  bench::Emit(t);
+  report.Emit("overheads", t);
 
   std::cout << "Shape check: PAIR matches the vendor's 6.25% on-die budget\n"
                "with no extra bus beats and no write RMW; DUO pays +1 beat\n"

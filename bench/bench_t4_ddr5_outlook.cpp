@@ -67,7 +67,8 @@ double PinFaultSdc(const dram::RankGeometry& rg, ecc::SchemeKind kind,
 }  // namespace
 
 int main() {
-  bench::PrintHeader("T4", "DDR4 (BL8) vs DDR5 (BL16) design point");
+  bench::BenchReport report("T4", "DDR4 (BL8) vs DDR5 (BL16) design point");
+  const unsigned kTrials = report.Trials(200);
 
   const dram::RankGeometry ddr4;
   dram::RankGeometry ddr5;
@@ -89,10 +90,10 @@ int main() {
       t.AddRow({gen == 0 ? "DDR4 x8 BL8" : "DDR5 x8 BL16",
                 ecc::ToString(kind), rmw ? "yes" : "no",
                 util::Table::Fixed(WriteHeavyNormPerf(rg, kind, params), 3),
-                util::Table::Fixed(PinFaultSdc(rg, kind, 200), 3)});
+                util::Table::Fixed(PinFaultSdc(rg, kind, kTrials), 3)});
     }
   }
-  bench::Emit(t);
+  report.Emit("ddr5_outlook", t);
 
   std::cout << "Shape check: moving to BL16 erases IECC's RMW penalty (the\n"
                "performance axis converges) but leaves its ~0.5 pin-fault\n"

@@ -42,7 +42,7 @@ class PinAlignedSecScheme final : public ecc::Scheme {
     return p;
   }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     const auto& g = rank().geometry().device;
     for (unsigned d = 0; d < rank().DataDevices(); ++d) {
       auto& dev = rank().device(d);
@@ -72,7 +72,7 @@ class PinAlignedSecScheme final : public ecc::Scheme {
     }
   }
 
-  ecc::ReadResult ReadLine(const dram::Address& addr) override {
+  ecc::ReadResult DoReadLine(const dram::Address& addr) override {
     const auto& g = rank().geometry().device;
     ecc::ReadResult result;
     result.data = util::BitVec(rank().geometry().LineBits());
@@ -161,7 +161,7 @@ class InterleavedRsScheme final : public ecc::Scheme {
     return p;
   }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     const auto& g = rank().geometry().device;
     const unsigned chunk = addr.col * g.AccessBits() / kChunkBits;
     for (unsigned d = 0; d < rank().DataDevices(); ++d) {
@@ -203,7 +203,7 @@ class InterleavedRsScheme final : public ecc::Scheme {
     }
   }
 
-  ecc::ReadResult ReadLine(const dram::Address& addr) override {
+  ecc::ReadResult DoReadLine(const dram::Address& addr) override {
     const auto& g = rank().geometry().device;
     const unsigned chunk = addr.col * g.AccessBits() / kChunkBits;
     ecc::ReadResult result;

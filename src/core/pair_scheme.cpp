@@ -117,7 +117,7 @@ bool PairScheme::MarkSymbolErased(unsigned device, unsigned pin, unsigned w,
   return true;
 }
 
-void PairScheme::WriteLine(const dram::Address& addr,
+void PairScheme::DoWriteLine(const dram::Address& addr,
                            const util::BitVec& line) {
   const auto& g = rank().geometry().device;
   const unsigned pins = g.dq_pins;
@@ -210,7 +210,7 @@ void PairScheme::WriteLine(const dram::Address& addr,
   }
 }
 
-ecc::ReadResult PairScheme::ReadLine(const dram::Address& addr) {
+ecc::ReadResult PairScheme::DoReadLine(const dram::Address& addr) {
   const auto& g = rank().geometry().device;
   const unsigned pins = g.dq_pins;
 
@@ -269,7 +269,7 @@ ecc::ReadResult PairScheme::ReadLine(const dram::Address& addr) {
   return result;
 }
 
-void PairScheme::ScrubLine(const dram::Address& addr) {
+void PairScheme::DoScrubLine(const dram::Address& addr) {
   const auto& g = rank().geometry().device;
   for (unsigned d = 0; d < rank().DataDevices(); ++d) {
     auto& dev = rank().device(d);

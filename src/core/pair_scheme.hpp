@@ -47,17 +47,6 @@ class PairScheme final : public ecc::Scheme {
   std::string Name() const override { return config_.Name(); }
   ecc::PerfDescriptor Perf() const override;
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override;
-  ecc::ReadResult ReadLine(const dram::Address& addr) override;
-
-  /// In-DRAM patrol scrub of the codewords covering `addr`: decode and
-  /// restore data AND check symbols (the delta-parity write path cannot
-  /// clear latent errors, so PAIR scrubs below the controller).
-  void ScrubLine(const dram::Address& addr) override;
-
-  /// One decode-and-restore pass over every codeword of the row.
-  void ScrubRowFull(unsigned bank, unsigned row) override { ScrubRow(bank, row); }
-
   const PairConfig& config() const noexcept { return config_; }
   const rs::RsCode& code() const noexcept { return code_; }
   /// Codewords per pin per row.
@@ -78,6 +67,21 @@ class PairScheme final : public ecc::Scheme {
     unsigned uncorrectable = 0;
   };
   ScrubStats ScrubRow(unsigned bank, unsigned row);
+
+ protected:
+  void DoWriteLine(const dram::Address& addr,
+                   const util::BitVec& line) override;
+  ecc::ReadResult DoReadLine(const dram::Address& addr) override;
+
+  /// In-DRAM patrol scrub of the codewords covering `addr`: decode and
+  /// restore data AND check symbols (the delta-parity write path cannot
+  /// clear latent errors, so PAIR scrubs below the controller).
+  void DoScrubLine(const dram::Address& addr) override;
+
+  /// One decode-and-restore pass over every codeword of the row.
+  void DoScrubRowFull(unsigned bank, unsigned row) override {
+    ScrubRow(bank, row);
+  }
 
  private:
   struct CodewordRef {

@@ -11,17 +11,20 @@
 
 namespace pair_ecc::ecc {
 
-void Scheme::ScrubLine(const dram::Address& addr) {
-  const ReadResult read = ReadLine(addr);
-  if (read.claim != Claim::kDetected) WriteLine(addr, read.data);
+// Default scrubs go through the Do* virtuals directly: internal scrub
+// traffic is not host traffic, so it must not inflate the host-operation
+// counters the public NVI wrappers maintain (see scheme.hpp).
+void Scheme::DoScrubLine(const dram::Address& addr) {
+  const ReadResult read = DoReadLine(addr);
+  if (read.claim != Claim::kDetected) DoWriteLine(addr, read.data);
 }
 
-void Scheme::ScrubRowFull(unsigned bank, unsigned row) {
+void Scheme::DoScrubRowFull(unsigned bank, unsigned row) {
   const unsigned cols = rank().geometry().device.ColumnsPerRow();
-  for (unsigned col = 0; col < cols; ++col) ScrubLine({bank, row, col});
+  for (unsigned col = 0; col < cols; ++col) DoScrubLine({bank, row, col});
 }
 
-bool Scheme::MarkDeviceErased(unsigned) { return false; }
+bool Scheme::DoMarkDeviceErased(unsigned) { return false; }
 
 std::string ToString(Claim claim) {
   switch (claim) {
@@ -61,11 +64,11 @@ class NoEccScheme final : public Scheme {
 
   PerfDescriptor Perf() const override { return {}; }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     rank().WriteLine(addr, line);
   }
 
-  ReadResult ReadLine(const dram::Address& addr) override {
+  ReadResult DoReadLine(const dram::Address& addr) override {
     ReadResult r;
     r.data = rank().ReadLine(addr);
     return r;
@@ -112,7 +115,7 @@ class IeccScheme final : public Scheme {
     return p;
   }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     const auto& g = rank().geometry().device;
     const unsigned cols_per_word = kWordBits / g.AccessBits();
     const unsigned word = addr.col / cols_per_word;
@@ -140,7 +143,7 @@ class IeccScheme final : public Scheme {
     }
   }
 
-  ReadResult ReadLine(const dram::Address& addr) override {
+  ReadResult DoReadLine(const dram::Address& addr) override {
     const auto& g = rank().geometry().device;
     const unsigned cols_per_word = kWordBits / g.AccessBits();
     const unsigned word = addr.col / cols_per_word;
@@ -212,7 +215,7 @@ class RankSecDedScheme final : public Scheme {
     return p;
   }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     inner_->WriteLine(addr, line);
     const auto& g = rank().geometry().device;
     util::BitVec parity_col(g.AccessBits());
@@ -225,16 +228,16 @@ class RankSecDedScheme final : public Scheme {
     rank().device(EccDevice()).WriteColumn(addr, parity_col);
   }
 
-  void ScrubLine(const dram::Address& addr) override {
+  void DoScrubLine(const dram::Address& addr) override {
     // Let the inner (on-die) scheme repair its own codewords first; then a
     // read-and-writeback through this wrapper refreshes the rank parity.
     // After the inner scrub the stored data is clean, so the writeback's
     // incremental updates (if any) are no-ops on the inner check symbols.
     inner_->ScrubLine(addr);
-    Scheme::ScrubLine(addr);
+    Scheme::DoScrubLine(addr);
   }
 
-  ReadResult ReadLine(const dram::Address& addr) override {
+  ReadResult DoReadLine(const dram::Address& addr) override {
     ReadResult result = inner_->ReadLine(addr);
     if (result.claim == Claim::kDetected) return result;  // chip-level DUE
 

@@ -60,7 +60,7 @@ class DuoScheme final : public Scheme {
     return p;
   }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     const auto& g = rank().geometry().device;
     data_.resize(code_.k());
     for (unsigned s = 0; s < code_.k(); ++s)
@@ -90,7 +90,7 @@ class DuoScheme final : public Scheme {
     }
   }
 
-  ReadResult ReadLine(const dram::Address& addr) override {
+  ReadResult DoReadLine(const dram::Address& addr) override {
     const auto& g = rank().geometry().device;
     word_.assign(code_.n(), 0);
 
@@ -139,7 +139,7 @@ class DuoScheme final : public Scheme {
   /// after a device has been diagnosed as failed). DUO's 12 check symbols
   /// cover a full 8-symbol device erasure with budget to spare — but only
   /// for one device; a second kill would exceed r.
-  bool MarkDeviceErased(unsigned device) override {
+  bool DoMarkDeviceErased(unsigned device) override {
     if (device >= rank().DataDevices()) return false;
     const auto& g = rank().geometry().device;
     const unsigned symbols_per_device = g.AccessBits() / kSymbolBits;

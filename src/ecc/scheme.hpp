@@ -58,6 +58,43 @@ struct PerfDescriptor {
   double storage_overhead = 0.0;
 };
 
+/// Deterministic per-scheme codec event counts, accumulated by the Scheme
+/// base class around every host-visible operation (non-virtual-interface
+/// wrappers below). A Scheme instance is single-threaded, so the counters
+/// are plain integers; the reliability layer harvests them per trial and
+/// merges shard-ordered, keeping instrumented runs bitwise reproducible
+/// for any thread count (see reliability/engine.hpp).
+///
+/// For a layered scheme (e.g. PAIR-4+SECDED) the outer scheme's counters
+/// record host-level operations; the wrapped inner scheme keeps its own
+/// counters for the operations delegated to it.
+struct CodecCounters {
+  std::uint64_t writes = 0;           ///< WriteLine calls (encodes)
+  std::uint64_t decodes = 0;          ///< ReadLine calls
+  std::uint64_t claim_clean = 0;      ///< reads claiming kClean
+  std::uint64_t claim_corrected = 0;  ///< reads claiming kCorrected
+  std::uint64_t claim_detected = 0;   ///< detected-uncorrectable reads
+  std::uint64_t corrected_units = 0;  ///< symbols/bits repaired, summed
+  std::uint64_t scrub_lines = 0;      ///< ScrubLine calls
+  std::uint64_t scrub_rows = 0;       ///< ScrubRowFull calls
+  std::uint64_t devices_erased = 0;   ///< successful MarkDeviceErased calls
+
+  CodecCounters& operator+=(const CodecCounters& other) noexcept {
+    writes += other.writes;
+    decodes += other.decodes;
+    claim_clean += other.claim_clean;
+    claim_corrected += other.claim_corrected;
+    claim_detected += other.claim_detected;
+    corrected_units += other.corrected_units;
+    scrub_lines += other.scrub_lines;
+    scrub_rows += other.scrub_rows;
+    devices_erased += other.devices_erased;
+    return *this;
+  }
+
+  friend bool operator==(const CodecCounters&, const CodecCounters&) = default;
+};
+
 class Scheme {
  public:
   virtual ~Scheme() = default;
@@ -68,35 +105,59 @@ class Scheme {
   virtual std::string Name() const = 0;
   virtual PerfDescriptor Perf() const = 0;
 
+  // Host-visible data path. Non-virtual interface: these wrappers maintain
+  // the CodecCounters and delegate to the protected Do* virtuals, so every
+  // scheme is instrumented identically and none can forget to count.
+
   /// Writes one cache line (rank LineBits wide) with all encoding side
   /// effects (parity updates, sidecar-chip writes).
-  virtual void WriteLine(const dram::Address& addr,
-                         const util::BitVec& line) = 0;
+  void WriteLine(const dram::Address& addr, const util::BitVec& line) {
+    ++counters_.writes;
+    DoWriteLine(addr, line);
+  }
 
   /// Reads and decodes one cache line.
-  virtual ReadResult ReadLine(const dram::Address& addr) = 0;
+  ReadResult ReadLine(const dram::Address& addr) {
+    ReadResult result = DoReadLine(addr);
+    ++counters_.decodes;
+    switch (result.claim) {
+      case Claim::kClean:     ++counters_.claim_clean; break;
+      case Claim::kCorrected: ++counters_.claim_corrected; break;
+      case Claim::kDetected:  ++counters_.claim_detected; break;
+    }
+    counters_.corrected_units += result.corrected_units;
+    return result;
+  }
 
   /// Patrol-scrubs one line: repairs whatever is repairable and restores
   /// clean stored state for transient damage (stuck cells stay stuck).
-  /// Default: read, and write the delivered data back unless the line was
-  /// flagged uncorrectable. Schemes whose write path is incremental (PAIR's
-  /// delta parity) override this with a decode-and-restore that also
-  /// refreshes the stored check symbols — a controller-style writeback
-  /// through a delta encoder would carry the parity mismatch along instead
-  /// of clearing it.
-  virtual void ScrubLine(const dram::Address& addr);
+  void ScrubLine(const dram::Address& addr) {
+    ++counters_.scrub_lines;
+    DoScrubLine(addr);
+  }
 
-  /// Patrol-scrubs an entire row. Default: ScrubLine over every column.
-  /// PAIR overrides this with a single decode-and-restore pass over the
-  /// row's codewords (each codeword spans many columns, so per-column
-  /// scrubbing would decode each one repeatedly).
-  virtual void ScrubRowFull(unsigned bank, unsigned row);
+  /// Patrol-scrubs an entire row.
+  void ScrubRowFull(unsigned bank, unsigned row) {
+    ++counters_.scrub_rows;
+    DoScrubRowFull(bank, row);
+  }
 
   /// Chip-kill: declares an entire device failed so the scheme treats its
   /// contribution as erasures. Returns true if the scheme supports it with
   /// remaining correction budget (DUO: a full device is 8 of 12 check
-  /// symbols' worth of erasures). Default: unsupported.
-  virtual bool MarkDeviceErased(unsigned device);
+  /// symbols' worth of erasures).
+  bool MarkDeviceErased(unsigned device) {
+    const bool supported = DoMarkDeviceErased(device);
+    counters_.devices_erased += supported;
+    return supported;
+  }
+
+  /// Codec telemetry accumulated since construction (or ResetCounters).
+  /// Note: reads/writes issued internally by Do* implementations (e.g. a
+  /// scrub's read-decode-writeback) do not re-enter the public wrappers, so
+  /// each host operation counts exactly once.
+  const CodecCounters& counters() const noexcept { return counters_; }
+  void ResetCounters() noexcept { counters_ = CodecCounters{}; }
 
   dram::Rank& rank() noexcept { return rank_; }
   const dram::Rank& rank() const noexcept { return rank_; }
@@ -104,8 +165,30 @@ class Scheme {
  protected:
   explicit Scheme(dram::Rank& rank) : rank_(rank) {}
 
+  virtual void DoWriteLine(const dram::Address& addr,
+                           const util::BitVec& line) = 0;
+  virtual ReadResult DoReadLine(const dram::Address& addr) = 0;
+
+  /// Default: read, and write the delivered data back unless the line was
+  /// flagged uncorrectable. Schemes whose write path is incremental (PAIR's
+  /// delta parity) override this with a decode-and-restore that also
+  /// refreshes the stored check symbols — a controller-style writeback
+  /// through a delta encoder would carry the parity mismatch along instead
+  /// of clearing it.
+  virtual void DoScrubLine(const dram::Address& addr);
+
+  /// Default: DoScrubLine over every column. PAIR overrides this with a
+  /// single decode-and-restore pass over the row's codewords (each codeword
+  /// spans many columns, so per-column scrubbing would decode each one
+  /// repeatedly).
+  virtual void DoScrubRowFull(unsigned bank, unsigned row);
+
+  /// Default: unsupported.
+  virtual bool DoMarkDeviceErased(unsigned device);
+
  private:
   dram::Rank& rank_;
+  CodecCounters counters_;
 };
 
 /// Every protection configuration the benchmarks compare.

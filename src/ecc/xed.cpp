@@ -57,7 +57,7 @@ class XedScheme final : public Scheme {
     return p;
   }
 
-  void WriteLine(const dram::Address& addr, const util::BitVec& line) override {
+  void DoWriteLine(const dram::Address& addr, const util::BitVec& line) override {
     const auto& g = rank().geometry().device;
     util::BitVec xor_col(g.AccessBits());
     for (unsigned d = 0; d < rank().DataDevices(); ++d)
@@ -67,7 +67,7 @@ class XedScheme final : public Scheme {
     WriteDeviceColumn(rank().DataDevices(), addr, xor_col);
   }
 
-  ReadResult ReadLine(const dram::Address& addr) override {
+  ReadResult DoReadLine(const dram::Address& addr) override {
     ReadResult result;
     result.data = util::BitVec(rank().geometry().LineBits());
 

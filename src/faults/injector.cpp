@@ -177,6 +177,7 @@ InjectedFault Injector::Inject(FaultType type, bool permanent,
       ApplyPinBurst(f, rng);
       break;
   }
+  counters_.Record(f);
   return f;
 }
 
@@ -195,6 +196,7 @@ InjectedFault Injector::InjectPinBurst(unsigned device, unsigned length,
   f.device = device;
   f.length = length;
   ApplyPinBurst(f, rng);
+  counters_.Record(f);
   return f;
 }
 

@@ -6,6 +6,8 @@
 // from the caller's RNG, making every injection replayable from a seed.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -18,6 +20,35 @@ namespace pair_ecc::faults {
 struct RowRef {
   unsigned bank;
   unsigned row;
+};
+
+/// Deterministic record of what an Injector has done: the injected fault
+/// mix broken down by type and persistence. Accumulated by the injection
+/// entry points; the reliability layer harvests these per trial and merges
+/// them shard-ordered (same determinism contract as ecc::CodecCounters).
+struct InjectionCounters {
+  std::array<std::uint64_t, kAllFaultTypes.size()> by_type{};
+  std::uint64_t total = 0;
+  std::uint64_t permanent = 0;
+  std::uint64_t transient = 0;
+
+  void Record(const InjectedFault& fault) noexcept {
+    ++by_type[static_cast<std::size_t>(fault.type)];
+    ++total;
+    ++(fault.permanent ? permanent : transient);
+  }
+
+  InjectionCounters& operator+=(const InjectionCounters& other) noexcept {
+    for (std::size_t i = 0; i < by_type.size(); ++i)
+      by_type[i] += other.by_type[i];
+    total += other.total;
+    permanent += other.permanent;
+    transient += other.transient;
+    return *this;
+  }
+
+  friend bool operator==(const InjectionCounters&,
+                         const InjectionCounters&) = default;
 };
 
 class Injector {
@@ -39,6 +70,9 @@ class Injector {
 
   const std::vector<RowRef>& working_set() const noexcept { return rows_; }
 
+  /// Injection telemetry accumulated since construction.
+  const InjectionCounters& counters() const noexcept { return counters_; }
+
  private:
   RowRef RandomRow(util::Xoshiro256& rng) const;
   void CorruptBit(unsigned device, const RowRef& where, unsigned bit,
@@ -54,6 +88,7 @@ class Injector {
 
   dram::Rank& rank_;
   std::vector<RowRef> rows_;
+  InjectionCounters counters_;
 };
 
 /// Samples a fault type according to the (normalised) mix weights.

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -41,6 +42,42 @@
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
+
+/// Wall-clock observations of one TrialEngine::Run — throughput, per-shard
+/// times, and load balance. Timing is inherently non-deterministic, so
+/// report serialisers place these in the separable "timing" section that
+/// determinism tests and bench_diff ignore by default. Collecting them
+/// never perturbs the trial result: the engine only reads clocks, never the
+/// trial RNG streams.
+struct EngineMetrics {
+  unsigned workers = 0;        ///< worker threads actually used
+  std::uint64_t trials = 0;
+  std::uint64_t shards = 0;
+  double wall_seconds = 0.0;   ///< whole Run(), including the reduce
+  std::vector<double> shard_seconds;  ///< per-shard wall time, shard order
+
+  double TrialsPerSec() const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds
+                              : 0.0;
+  }
+  double MeanShardSeconds() const noexcept {
+    if (shard_seconds.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : shard_seconds) sum += s;
+    return sum / static_cast<double>(shard_seconds.size());
+  }
+  double MaxShardSeconds() const noexcept {
+    double max = 0.0;
+    for (double s : shard_seconds) max = std::max(max, s);
+    return max;
+  }
+  /// Load imbalance: max shard time over mean shard time, minus one.
+  /// 0 = perfectly balanced; 1 = the slowest shard took twice the mean.
+  double ShardImbalance() const noexcept {
+    const double mean = MeanShardSeconds();
+    return mean > 0.0 ? MaxShardSeconds() / mean - 1.0 : 0.0;
+  }
+};
 
 class TrialEngine {
  public:
@@ -67,8 +104,17 @@ class TrialEngine {
   ///   body(trial_index, rng, accumulator)
   /// and must draw all randomness from `rng` (a per-trial stream) and write
   /// only through the accumulator it is handed.
+  ///
+  /// When `metrics` is non-null it is filled with wall-clock observations
+  /// (throughput, per-shard times). Timing collection never touches the
+  /// trial RNG streams, so the returned Result is bit-identical whether or
+  /// not metrics are requested.
   template <typename Result, typename Body>
-  Result Run(std::uint64_t seed, std::uint64_t trials, Body&& body) const {
+  Result Run(std::uint64_t seed, std::uint64_t trials, Body&& body,
+             EngineMetrics* metrics = nullptr) const {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point run_start = Clock::now();
+
     // Per-trial sub-seeds, in trial order, from the master stream. This is
     // exactly the sequence the serial `master.Fork()` loop consumed.
     std::vector<std::uint64_t> trial_seeds(trials);
@@ -77,14 +123,22 @@ class TrialEngine {
 
     const std::uint64_t shards = (trials + kShardTrials - 1) / kShardTrials;
     std::vector<Result> shard_results(shards);
+    // Each shard is run by exactly one worker, so per-shard slots need no
+    // synchronisation beyond the pool join.
+    std::vector<double> shard_seconds(metrics != nullptr ? shards : 0);
 
     auto run_shard = [&](std::uint64_t shard) {
+      const Clock::time_point shard_start =
+          metrics != nullptr ? Clock::now() : Clock::time_point{};
       const std::uint64_t begin = shard * kShardTrials;
       const std::uint64_t end = std::min(begin + kShardTrials, trials);
       for (std::uint64_t trial = begin; trial < end; ++trial) {
         util::Xoshiro256 rng(trial_seeds[trial]);
         body(trial, rng, shard_results[shard]);
       }
+      if (metrics != nullptr)
+        shard_seconds[shard] =
+            std::chrono::duration<double>(Clock::now() - shard_start).count();
     };
 
     const unsigned workers = static_cast<unsigned>(
@@ -111,6 +165,15 @@ class TrialEngine {
 
     Result total{};
     for (auto& r : shard_results) total += r;
+
+    if (metrics != nullptr) {
+      metrics->workers = std::max(1u, workers);
+      metrics->trials = trials;
+      metrics->shards = shards;
+      metrics->wall_seconds =
+          std::chrono::duration<double>(Clock::now() - run_start).count();
+      metrics->shard_seconds = std::move(shard_seconds);
+    }
     return total;
   }
 

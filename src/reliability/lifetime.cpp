@@ -1,10 +1,12 @@
 #include "reliability/lifetime.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "dram/rank.hpp"
 #include "faults/injector.hpp"
 #include "reliability/engine.hpp"
+#include "reliability/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
@@ -30,21 +32,24 @@ unsigned SamplePoisson(double lambda, util::Xoshiro256& rng) {
 struct LifetimeAccum {
   LifetimeStats stats;
   double sdc_epoch_sum = 0.0;
+  TrialTelemetry tel;
 
-  LifetimeAccum& operator+=(const LifetimeAccum& other) noexcept {
+  LifetimeAccum& operator+=(const LifetimeAccum& other) {
     stats.trials += other.stats.trials;
     stats.trials_with_sdc += other.stats.trials_with_sdc;
     stats.trials_with_due += other.stats.trials_with_due;
     stats.total_corrections += other.stats.total_corrections;
     stats.total_scrub_writebacks += other.stats.total_scrub_writebacks;
     sdc_epoch_sum += other.sdc_epoch_sum;
+    tel += other.tel;
     return *this;
   }
 };
 
 }  // namespace
 
-LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials) {
+LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials,
+                          ScenarioTelemetry* telemetry) {
   config.geometry.Validate();
   const auto& g = config.geometry.device;
   const WorkingSet ws =
@@ -70,6 +75,7 @@ LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials) {
           for (const auto& [addr, line] : ctx.truth) {
             const auto read = ctx.scheme->ReadLine(addr);
             const Outcome outcome = Classify(read.claim, read.data, line);
+            acc.tel.corrected_units.Record(read.corrected_units);
             acc.stats.total_corrections += outcome == Outcome::kCorrected;
             if (IsSdc(outcome) && !saw_sdc) {
               saw_sdc = true;
@@ -104,6 +110,7 @@ LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials) {
                 if (taddr == addr) expect = &tline;
               const auto read = ctx.scheme->ReadLine(addr);
               const Outcome outcome = Classify(read.claim, read.data, *expect);
+              acc.tel.corrected_units.Record(read.corrected_units);
               if (IsSdc(outcome)) {
                 saw_sdc = true;
                 sdc_epoch = config.epochs;
@@ -116,11 +123,17 @@ LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials) {
         acc.stats.trials_with_sdc += saw_sdc;
         acc.stats.trials_with_due += saw_due;
         acc.sdc_epoch_sum += static_cast<double>(sdc_epoch);
-      });
+
+        // Harvest codec + injection counters; pure reads, no RNG draws.
+        acc.tel.codec += ctx.scheme->counters();
+        acc.tel.injection += injector.counters();
+      },
+      telemetry != nullptr ? &telemetry->engine : nullptr);
 
   LifetimeStats stats = accum.stats;
   stats.mean_sdc_epoch =
       trials ? accum.sdc_epoch_sum / static_cast<double>(trials) : 0.0;
+  if (telemetry != nullptr) telemetry->trial = std::move(accum.tel);
   return stats;
 }
 

@@ -1,13 +1,33 @@
 #include "reliability/monte_carlo.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "dram/rank.hpp"
 #include "faults/injector.hpp"
 #include "reliability/engine.hpp"
+#include "reliability/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
+
+namespace {
+
+/// Shard accumulator: the headline counts plus the per-trial telemetry,
+/// merged together in shard order so both honour the same determinism
+/// contract.
+struct ScenarioAccum {
+  OutcomeCounts counts;
+  TrialTelemetry tel;
+
+  ScenarioAccum& operator+=(const ScenarioAccum& other) {
+    counts += other.counts;
+    tel += other.tel;
+    return *this;
+  }
+};
+
+}  // namespace
 
 std::string ToString(Outcome outcome) {
   switch (outcome) {
@@ -45,17 +65,19 @@ OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& other) noexcept {
   return *this;
 }
 
-OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials) {
+OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials,
+                            ScenarioTelemetry* telemetry) {
   config.geometry.Validate();
   const WorkingSet ws =
       MakeWorkingSet(config.geometry, config.working_rows, config.lines_per_row,
                      /*row_mul=*/37, /*row_off=*/11);
 
   const TrialEngine engine(config.threads);
-  return engine.Run<OutcomeCounts>(
+  ScenarioAccum accum = engine.Run<ScenarioAccum>(
       config.seed, trials,
       [&config, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
-                     OutcomeCounts& counts) {
+                     ScenarioAccum& acc) {
+        OutcomeCounts& counts = acc.counts;
         TrialContext ctx(config.geometry, config.scheme, ws, rng);
 
         faults::Injector injector(ctx.rank, ws.rows);
@@ -67,6 +89,7 @@ OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials) {
           const auto read = ctx.scheme->ReadLine(addr);
           const Outcome outcome = Classify(read.claim, read.data, line);
           counts.Add(outcome);
+          acc.tel.corrected_units.Record(read.corrected_units);
           any_sdc |= IsSdc(outcome);
           any_due |= outcome == Outcome::kDue;
         }
@@ -74,7 +97,17 @@ OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials) {
         counts.trials_with_sdc += any_sdc;
         counts.trials_with_due += any_due;
         counts.trials_with_failure += (any_sdc || any_due);
-      });
+
+        // Harvest the trial's codec and injection counters. Pure reads of
+        // already-accumulated state: no RNG draws, no extra DRAM traffic,
+        // so the outcome counts match the uninstrumented run bitwise.
+        acc.tel.codec += ctx.scheme->counters();
+        acc.tel.injection += injector.counters();
+      },
+      telemetry != nullptr ? &telemetry->engine : nullptr);
+
+  if (telemetry != nullptr) telemetry->trial = std::move(accum.tel);
+  return accum.counts;
 }
 
 LifetimeEstimate CombinePoisson(std::span<const OutcomeCounts> conditional,

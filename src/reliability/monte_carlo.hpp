@@ -79,8 +79,14 @@ struct OutcomeCounts {
   friend bool operator==(const OutcomeCounts&, const OutcomeCounts&) = default;
 };
 
+struct ScenarioTelemetry;  // reliability/telemetry.hpp
+
 /// Runs `trials` independent scenarios. Deterministic in (config, trials).
-OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials);
+/// When `telemetry` is non-null it is filled with the run's deterministic
+/// per-trial telemetry (codec + injection counters, shard-order merged) and
+/// the engine's wall-clock metrics; collection never perturbs the counts.
+OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials,
+                            ScenarioTelemetry* telemetry = nullptr);
 
 /// Folds conditional per-trial rates P(event | N faults), N = 1..K (the
 /// index into `conditional` is N-1), over Poisson(lambda) fault counts.

@@ -1,0 +1,75 @@
+// Report comparison: the library behind tools/bench_diff.
+//
+// Two reports are compared metric-by-metric after flattening every numeric
+// leaf to a dotted path:
+//
+//   counters.<name>                          exact event counts
+//   metrics.<name>                           derived rates
+//   meta.<key>                               numeric run parameters (trials)
+//   histograms.<name>.le_<bound> / .overflow / .sum
+//   tables.<table>.<row-key>.<column>        numeric-looking table cells
+//   timing.<name>                            wall-clock (ignored by default)
+//
+// A table row's key is the "/"-joined non-numeric cells of the row (e.g.
+// "PAIR-4/single-pin"), de-duplicated with a "#<n>" suffix — stable as long
+// as the table's label columns are.
+//
+// A path REGRESSES when its relative change exceeds rel_tol AND its
+// absolute change exceeds abs_tol (both must trip, so tiny counts don't
+// page anyone), or when it exists in the baseline but not the candidate
+// (fail_on_missing). Direction-agnostic on purpose: for throughput a drop
+// is the regression, for an SDC rate a rise is — a comparator that gates CI
+// flags any drift beyond tolerance and lets the human read the sign.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace pair_ecc::telemetry {
+
+struct DiffOptions {
+  double rel_tol = 0.05;
+  double abs_tol = 1e-12;
+  /// Compare timing.* paths too (off by default: wall-clock noise).
+  bool include_timing = false;
+  /// A baseline path absent from the candidate is a regression.
+  bool fail_on_missing = true;
+  /// Extra path prefixes to skip (e.g. "tables.").
+  std::vector<std::string> ignore_prefixes;
+};
+
+struct MetricDelta {
+  std::string path;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  bool regressed = false;
+
+  double AbsChange() const noexcept { return candidate - baseline; }
+  /// Relative change vs the baseline magnitude; +/-inf when the baseline is
+  /// zero and the candidate is not.
+  double RelChange() const noexcept;
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> deltas;    // every compared path, report order
+  std::vector<std::string> missing;   // in baseline only
+  std::vector<std::string> added;     // in candidate only
+  unsigned regressions = 0;           // regressed deltas + counted missing
+
+  bool HasRegression() const noexcept { return regressions != 0; }
+};
+
+/// Flattens a parsed report to (path, value) pairs in deterministic order.
+std::vector<std::pair<std::string, double>> FlattenMetrics(
+    const JsonValue& report);
+
+DiffResult CompareReports(const JsonValue& baseline, const JsonValue& candidate,
+                          const DiffOptions& options = {});
+
+/// Structural schema validation: returns human-readable problems, empty
+/// when `report` is a well-formed pair-report of a known schema version.
+std::vector<std::string> ValidateReportSchema(const JsonValue& report);
+
+}  // namespace pair_ecc::telemetry

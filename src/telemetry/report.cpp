@@ -1,0 +1,77 @@
+#include "telemetry/report.hpp"
+
+#include <fstream>
+
+namespace pair_ecc::telemetry {
+
+void Report::AddTable(std::string_view name, const util::Table& table) {
+  JsonValue columns = JsonValue::MakeArray();
+  for (const auto& col : table.header()) columns.Append(JsonValue(col));
+  JsonValue rows = JsonValue::MakeArray();
+  for (const auto& row : table.rows()) {
+    JsonValue cells = JsonValue::MakeArray();
+    for (const auto& cell : row) cells.Append(JsonValue(cell));
+    rows.Append(std::move(cells));
+  }
+  JsonValue entry = JsonValue::MakeObject();
+  entry.Set("columns", std::move(columns));
+  entry.Set("rows", std::move(rows));
+  for (auto& [existing, value] : tables_) {
+    if (existing == name) {
+      value = std::move(entry);
+      return;
+    }
+  }
+  tables_.emplace_back(std::string(name), std::move(entry));
+}
+
+JsonValue Report::ToJson(bool include_timing) const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("schema", JsonValue(kReportSchema));
+  root.Set("schema_version", JsonValue(kReportSchemaVersion));
+  root.Set("tool", JsonValue(tool_));
+  root.Set("meta", meta_);
+
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& [name, value] : counters_.items())
+    counters.Set(name, JsonValue(value));
+  root.Set("counters", std::move(counters));
+
+  JsonValue metrics = JsonValue::MakeObject();
+  for (const auto& [name, value] : metrics_) metrics.Set(name, JsonValue(value));
+  root.Set("metrics", std::move(metrics));
+
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::MakeObject();
+    JsonValue bounds = JsonValue::MakeArray();
+    for (const auto b : h.bounds()) bounds.Append(JsonValue(b));
+    JsonValue counts = JsonValue::MakeArray();
+    for (const auto c : h.counts()) counts.Append(JsonValue(c));
+    entry.Set("bounds", std::move(bounds));
+    entry.Set("counts", std::move(counts));
+    entry.Set("sum", JsonValue(h.Sum()));
+    histograms.Set(name, std::move(entry));
+  }
+  root.Set("histograms", std::move(histograms));
+
+  JsonValue tables = JsonValue::MakeObject();
+  for (const auto& [name, value] : tables_) tables.Set(name, value);
+  root.Set("tables", std::move(tables));
+
+  if (include_timing) {
+    JsonValue timing = JsonValue::MakeObject();
+    for (const auto& [name, value] : timing_) timing.Set(name, JsonValue(value));
+    root.Set("timing", std::move(timing));
+  }
+  return root;
+}
+
+bool WriteReportFile(const Report& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  report.ToJson(/*include_timing=*/true).Write(out);
+  return out.good();
+}
+
+}  // namespace pair_ecc::telemetry

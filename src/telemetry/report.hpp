@@ -1,0 +1,98 @@
+// Versioned, machine-readable run report.
+//
+// A Report is the single JSON artifact every instrumented entry point
+// (pairsim --json, PAIR_BENCH_JSON in the bench binaries) emits. The
+// schema is stable and versioned so bench_diff can compare artifacts
+// across commits:
+//
+//   {
+//     "schema": "pair-report",
+//     "schema_version": 1,
+//     "tool": "<producer>",
+//     "meta": { ... },          // run parameters (seed, trials, scheme...)
+//     "counters": { ... },      // exact uint64 event counts
+//     "metrics": { ... },       // derived doubles (rates, ratios)
+//     "histograms": { "<name>": {"bounds": [...], "counts": [...], "sum": n} },
+//     "tables": { "<name>": {"columns": [...], "rows": [[...], ...]} },
+//     "timing": { ... }         // wall-clock section — see below
+//   }
+//
+// Determinism rule: every section except "timing" is a pure function of
+// (config, seed, trial count) — byte-identical across runs and thread
+// counts. "timing" holds wall-clock measurements (trials/sec, shard
+// seconds) and is the ONLY section allowed to differ between identical
+// runs; ToJson(/*include_timing=*/false) drops it, which is what the
+// determinism tests serialise, and bench_diff ignores "timing." paths by
+// default.
+//
+// Sections serialise in the fixed order above; within counters/metrics/
+// histograms/timing entries are name-sorted, and meta/tables preserve
+// insertion order (call order documents itself).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/table.hpp"
+
+namespace pair_ecc::telemetry {
+
+inline constexpr std::string_view kReportSchema = "pair-report";
+inline constexpr std::int64_t kReportSchemaVersion = 1;
+
+class Report {
+ public:
+  explicit Report(std::string tool) : tool_(std::move(tool)) {}
+
+  const std::string& tool() const noexcept { return tool_; }
+
+  /// Run parameters. Insertion order is preserved in the JSON.
+  void MetaString(std::string_view key, std::string_view value) {
+    meta_.Set(key, JsonValue(value));
+  }
+  void MetaInt(std::string_view key, std::int64_t value) {
+    meta_.Set(key, JsonValue(value));
+  }
+  void MetaReal(std::string_view key, double value) {
+    meta_.Set(key, JsonValue(value));
+  }
+
+  Counters& counters() noexcept { return counters_; }
+  const Counters& counters() const noexcept { return counters_; }
+
+  void AddMetric(std::string_view name, double value) {
+    metrics_[std::string(name)] = value;
+  }
+  void AddHistogram(std::string_view name, Histogram histogram) {
+    histograms_[std::string(name)] = std::move(histogram);
+  }
+  /// Records a rendered table (columns + string cells). Numeric-looking
+  /// cells are diffable (see diff.hpp's flattening).
+  void AddTable(std::string_view name, const util::Table& table);
+  /// Wall-clock measurement — excluded from the deterministic sections.
+  void AddTiming(std::string_view name, double value) {
+    timing_[std::string(name)] = value;
+  }
+
+  JsonValue ToJson(bool include_timing = true) const;
+
+ private:
+  std::string tool_;
+  JsonValue meta_ = JsonValue::MakeObject();
+  Counters counters_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<std::pair<std::string, JsonValue>> tables_;
+  std::map<std::string, double> timing_;
+};
+
+/// Writes `report` (with its timing section) to `path` as indented JSON.
+/// Returns false on I/O failure.
+bool WriteReportFile(const Report& report, const std::string& path);
+
+}  // namespace pair_ecc::telemetry

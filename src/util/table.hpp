@@ -80,6 +80,12 @@ class Table {
     return ss.str();
   }
 
+  /// Structured access for machine-readable exports (telemetry JSON).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
                        const std::vector<std::size_t>& width) {

@@ -1,0 +1,117 @@
+// Monte-Carlo vs analytic cross-check (reliability/analytic.cpp).
+//
+// The simulator and the closed-form model are independent implementations
+// of the same physics; here each validates the other on a configuration
+// where the analytic answer is exact:
+//
+//   * IECC (SEC Hamming (136,128) per 128-bit word), one working row,
+//     single-bit transient faults only. A row of `row_bits` data +
+//     `spare_row_bits` parity is exactly words_per_row codewords of 136
+//     bits, and the injector draws (device, bit) uniformly — so the faults
+//     are balls thrown uniformly into data_devices * words_per_row bins,
+//     and a trial fails iff some bin holds >= 2 (SEC corrects any single
+//     error). TrialFailureRate must match ProbMaxOccupancyAtLeast within
+//     binomial sampling error at the pinned seed.
+//   * Given a double-error codeword, the SEC decoder miscorrects (SDC)
+//     with probability DoubleErrorMiscorrectionRate() and detects (DUE)
+//     otherwise — so the simulator's SDC share of failures must track the
+//     exhaustive Hamming rate.
+//
+// Model error terms (two faults cancelling on one bit, weight-3 parity-only
+// codewords) are O(1e-3) here, far below the statistical tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamming/hamming.hpp"
+#include "reliability/analytic.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "reliability/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::reliability {
+namespace {
+
+constexpr unsigned kTrials = 600;
+constexpr unsigned kFaults = 16;
+
+ScenarioConfig CrosscheckConfig() {
+  ScenarioConfig cfg;
+  cfg.scheme = ecc::SchemeKind::kIecc;
+  // Small rows keep the run fast while every column is read back, so no
+  // double-error codeword can hide from classification: 2048-bit rows are
+  // 16 words of 128 data bits, the 128-bit spare region holds exactly their
+  // 16 x 8 parity bits, and 32 lines cover all 32 columns.
+  cfg.geometry.device.row_bits = 2048;
+  cfg.geometry.device.spare_row_bits = 128;
+  cfg.geometry.ecc_devices = 0;  // all faults land in IECC-covered devices
+  cfg.mix = faults::FaultMix{1.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                             /*permanent_fraction=*/0.0};
+  cfg.faults_per_trial = kFaults;
+  cfg.working_rows = 1;
+  cfg.lines_per_row = 32;
+  cfg.seed = 0xC405C;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(AnalyticCrosscheck, IeccFailureRateMatchesOccupancyModel) {
+  const ScenarioConfig cfg = CrosscheckConfig();
+  const unsigned words_per_row = cfg.geometry.device.row_bits / 128;
+  const unsigned bins = cfg.geometry.data_devices * words_per_row;  // 128
+
+  ScenarioTelemetry tel;
+  const OutcomeCounts counts = RunMonteCarlo(cfg, kTrials, &tel);
+
+  // Telemetry sanity: the injected mix is exactly what was configured.
+  EXPECT_EQ(tel.trial.injection.total,
+            static_cast<std::uint64_t>(kTrials) * kFaults);
+  EXPECT_EQ(tel.trial.injection.permanent, 0u);
+  EXPECT_EQ(tel.trial.codec.decodes, counts.reads);
+
+  const double expected = ProbMaxOccupancyAtLeast(bins, kFaults, 2);
+  const double observed = counts.TrialFailureRate();
+  // Binomial sampling noise at the pinned seed; 4 sigma plus the O(1e-3)
+  // model error keeps this deterministic test far from its threshold.
+  const double sigma = std::sqrt(expected * (1.0 - expected) / kTrials);
+  EXPECT_NEAR(observed, expected, 4.0 * sigma + 0.005)
+      << "expected " << expected << " +- " << sigma;
+}
+
+TEST(AnalyticCrosscheck, SdcShareTracksHammingMiscorrectionRate) {
+  const OutcomeCounts counts = RunMonteCarlo(CrosscheckConfig(), kTrials);
+  ASSERT_GT(counts.trials_with_failure, 100u)
+      << "configuration no longer produces enough failures to resolve the "
+         "ratio";
+
+  const double miscorrect =
+      hamming::HammingCode::OnDie136().DoubleErrorMiscorrectionRate();
+  const double observed =
+      static_cast<double>(counts.trials_with_sdc) /
+      static_cast<double>(counts.trials_with_failure);
+  // Trials with several double-error words push the SDC share slightly
+  // above the single-word rate; 0.1 covers that plus sampling noise.
+  EXPECT_NEAR(observed, miscorrect, 0.1);
+}
+
+TEST(AnalyticCrosscheck, OccupancyModelAgreesWithDirectSimulation) {
+  // ProbMaxOccupancyAtLeast is exact (EGF identity); a direct balls-in-bins
+  // simulation pins the combinatorics independently of the DRAM stack.
+  constexpr unsigned kBins = 128, kBalls = 16, kRounds = 4000;
+  util::Xoshiro256 rng(0x0CC0);
+  unsigned hits = 0;
+  for (unsigned round = 0; round < kRounds; ++round) {
+    unsigned occupancy[kBins] = {};
+    bool collision = false;
+    for (unsigned b = 0; b < kBalls; ++b)
+      collision |= ++occupancy[rng.UniformBelow(kBins)] >= 2;
+    hits += collision;
+  }
+  const double expected = ProbMaxOccupancyAtLeast(kBins, kBalls, 2);
+  const double observed = static_cast<double>(hits) / kRounds;
+  const double sigma = std::sqrt(expected * (1.0 - expected) / kRounds);
+  EXPECT_NEAR(observed, expected, 4.0 * sigma);
+}
+
+}  // namespace
+}  // namespace pair_ecc::reliability

@@ -1,0 +1,150 @@
+// Regression-comparator semantics (src/telemetry/diff.*, the library
+// behind tools/bench_diff).
+//
+// Pins the acceptance scenario: a synthetic 10% throughput drop between two
+// otherwise-identical reports must be flagged as a regression when timing
+// paths are included, and must be invisible with the default options
+// (wall-clock is noise). Also pins the tolerance semantics: a path
+// regresses only when BOTH the relative and absolute change exceed their
+// tolerances, and a baseline path missing from the candidate counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "telemetry/diff.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
+
+namespace pair_ecc::telemetry {
+namespace {
+
+Report MakeBenchReport(double trials_per_sec, std::uint64_t reads = 1024) {
+  Report report("bench-unit-test");
+  report.MetaString("experiment", "F0");
+  report.MetaInt("trials", 500);
+  report.counters().Add("reads", reads);
+  report.AddMetric("sdc_rate", 0.125);
+  report.AddTiming("trials_per_sec", trials_per_sec);
+  report.AddTiming("wall_seconds", 500.0 / trials_per_sec);
+  return report;
+}
+
+TEST(BenchDiff, DetectsTenPercentThroughputRegression) {
+  const JsonValue baseline = MakeBenchReport(100.0).ToJson();
+  const JsonValue candidate = MakeBenchReport(90.0).ToJson();
+
+  DiffOptions options;
+  options.include_timing = true;
+  options.rel_tol = 0.05;
+  const DiffResult result = CompareReports(baseline, candidate, options);
+
+  EXPECT_TRUE(result.HasRegression());
+  bool found = false;
+  for (const auto& d : result.deltas) {
+    if (d.path != "timing.trials_per_sec") continue;
+    found = true;
+    EXPECT_TRUE(d.regressed);
+    EXPECT_DOUBLE_EQ(d.baseline, 100.0);
+    EXPECT_DOUBLE_EQ(d.candidate, 90.0);
+    EXPECT_NEAR(d.RelChange(), -0.10, 1e-12);
+  }
+  EXPECT_TRUE(found) << "timing.trials_per_sec was not compared";
+}
+
+TEST(BenchDiff, TimingIgnoredByDefault) {
+  const JsonValue baseline = MakeBenchReport(100.0).ToJson();
+  const JsonValue candidate = MakeBenchReport(50.0).ToJson();
+  const DiffResult result = CompareReports(baseline, candidate);
+  EXPECT_FALSE(result.HasRegression());
+  for (const auto& d : result.deltas)
+    EXPECT_NE(d.path.substr(0, 7), "timing.") << d.path;
+}
+
+TEST(BenchDiff, WithinToleranceIsNotARegression) {
+  const JsonValue baseline = MakeBenchReport(100.0).ToJson();
+  const JsonValue candidate = MakeBenchReport(96.0).ToJson();  // -4% < 5%
+  DiffOptions options;
+  options.include_timing = true;
+  EXPECT_FALSE(CompareReports(baseline, candidate, options).HasRegression());
+}
+
+TEST(BenchDiff, AbsoluteToleranceSuppressesTinyCounts) {
+  // 1 read vs 2 reads is a 100% relative change; a loose abs_tol keeps such
+  // statistically-meaningless counter wiggles from gating CI.
+  const JsonValue baseline = MakeBenchReport(100.0, /*reads=*/1).ToJson();
+  const JsonValue candidate = MakeBenchReport(100.0, /*reads=*/2).ToJson();
+  DiffOptions options;
+  options.abs_tol = 5.0;
+  EXPECT_FALSE(CompareReports(baseline, candidate, options).HasRegression());
+  options.abs_tol = 0.5;
+  EXPECT_TRUE(CompareReports(baseline, candidate, options).HasRegression());
+}
+
+TEST(BenchDiff, MissingBaselinePathCounts) {
+  Report baseline("bench-unit-test");
+  baseline.counters().Add("reads", 10);
+  baseline.counters().Add("writes", 10);
+  Report candidate("bench-unit-test");
+  candidate.counters().Add("reads", 10);
+
+  const DiffResult strict =
+      CompareReports(baseline.ToJson(), candidate.ToJson());
+  EXPECT_TRUE(strict.HasRegression());
+  ASSERT_EQ(strict.missing.size(), 1u);
+  EXPECT_EQ(strict.missing[0], "counters.writes");
+
+  DiffOptions lenient;
+  lenient.fail_on_missing = false;
+  const DiffResult loose =
+      CompareReports(baseline.ToJson(), candidate.ToJson(), lenient);
+  EXPECT_FALSE(loose.HasRegression());
+  EXPECT_EQ(loose.missing.size(), 1u);  // still reported, just not counted
+}
+
+TEST(BenchDiff, AddedCandidatePathIsReportedNotRegressed) {
+  Report baseline("bench-unit-test");
+  baseline.counters().Add("reads", 10);
+  Report candidate("bench-unit-test");
+  candidate.counters().Add("reads", 10);
+  candidate.counters().Add("scrubs", 4);
+
+  const DiffResult result =
+      CompareReports(baseline.ToJson(), candidate.ToJson());
+  EXPECT_FALSE(result.HasRegression());
+  ASSERT_EQ(result.added.size(), 1u);
+  EXPECT_EQ(result.added[0], "counters.scrubs");
+}
+
+TEST(BenchDiff, IgnorePrefixesSkipWholeSections) {
+  Report baseline("bench-unit-test");
+  baseline.counters().Add("reads", 10);
+  baseline.AddMetric("rate", 0.5);
+  Report candidate("bench-unit-test");
+  candidate.counters().Add("reads", 99);
+  candidate.AddMetric("rate", 0.5);
+
+  DiffOptions options;
+  options.ignore_prefixes = {"counters."};
+  const DiffResult result =
+      CompareReports(baseline.ToJson(), candidate.ToJson(), options);
+  EXPECT_FALSE(result.HasRegression());
+  for (const auto& d : result.deltas)
+    EXPECT_NE(d.path.substr(0, 9), "counters.") << d.path;
+}
+
+TEST(BenchDiff, ZeroBaselineRelChangeIsInfinite) {
+  Report baseline("bench-unit-test");
+  baseline.counters().Add("sdc", 0);
+  Report candidate("bench-unit-test");
+  candidate.counters().Add("sdc", 3);
+
+  const DiffResult result =
+      CompareReports(baseline.ToJson(), candidate.ToJson());
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.deltas[0].regressed);
+  EXPECT_TRUE(std::isinf(result.deltas[0].RelChange()));
+}
+
+}  // namespace
+}  // namespace pair_ecc::telemetry

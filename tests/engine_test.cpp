@@ -13,6 +13,7 @@
 #include "reliability/engine.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/monte_carlo.hpp"
+#include "reliability/telemetry.hpp"
 
 namespace pair_ecc::reliability {
 namespace {
@@ -109,6 +110,90 @@ TEST(EngineDeterminism, LifetimeBitwiseEqualAcrossThreadCounts) {
     // Bitwise, not approximate: the engine's fixed shard grouping makes even
     // the floating-point mean reproducible.
     EXPECT_EQ(parallel.mean_sdc_epoch, serial.mean_sdc_epoch);
+  }
+}
+
+// Telemetry rides inside the shard accumulators, so it inherits the same
+// determinism contract as the outcome counts: identical values for any
+// thread count, and collecting it must not perturb the golden outcomes
+// (harvesting reads counters only — no RNG draws).
+TEST(EngineTelemetry, CountersAreThreadCountInvariant) {
+  for (const auto kind : ecc::AllSchemeKinds()) {
+    SCOPED_TRACE(ecc::ToString(kind));
+    ScenarioTelemetry serial;
+    const OutcomeCounts counts =
+        RunMonteCarlo(GoldenConfig(kind, /*threads=*/1), kGoldenTrials,
+                      &serial);
+    for (unsigned threads : {2u, 8u}) {
+      ScenarioTelemetry parallel;
+      const OutcomeCounts pcounts = RunMonteCarlo(
+          GoldenConfig(kind, threads), kGoldenTrials, &parallel);
+      EXPECT_EQ(pcounts, counts) << "threads=" << threads;
+      EXPECT_EQ(parallel.trial, serial.trial) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(EngineTelemetry, CollectionDoesNotPerturbGoldenOutcomes) {
+  // The golden table was pinned before telemetry existed; an instrumented
+  // run must still reproduce it bitwise.
+  for (const auto& g : kGolden) {
+    SCOPED_TRACE(ecc::ToString(g.kind));
+    ScenarioTelemetry tel;
+    const OutcomeCounts c =
+        RunMonteCarlo(GoldenConfig(g.kind, /*threads=*/1), kGoldenTrials,
+                      &tel);
+    EXPECT_EQ(c.no_error, g.no_error);
+    EXPECT_EQ(c.corrected, g.corrected);
+    EXPECT_EQ(c.due, g.due);
+    EXPECT_EQ(c.sdc_miscorrected, g.sdc_miscorrected);
+    EXPECT_EQ(c.sdc_undetected, g.sdc_undetected);
+    // Structural counter invariants, valid for every scheme.
+    EXPECT_EQ(tel.trial.codec.decodes, c.reads);
+    EXPECT_EQ(tel.trial.codec.writes, c.reads) << "1 write per read here";
+    EXPECT_EQ(tel.trial.codec.claim_clean + tel.trial.codec.claim_corrected +
+                  tel.trial.codec.claim_detected,
+              tel.trial.codec.decodes);
+    EXPECT_EQ(tel.trial.injection.total,
+              static_cast<std::uint64_t>(kGoldenTrials) * 2);
+    EXPECT_EQ(tel.trial.injection.permanent + tel.trial.injection.transient,
+              tel.trial.injection.total);
+    EXPECT_EQ(tel.trial.corrected_units.TotalCount(), c.reads);
+    EXPECT_EQ(tel.engine.trials, kGoldenTrials);
+    EXPECT_EQ(tel.engine.shards,
+              (kGoldenTrials + TrialEngine::kShardTrials - 1) /
+                  TrialEngine::kShardTrials);
+  }
+}
+
+// Pinned telemetry goldens for one representative scheme per family; any
+// drift in the NVI counting layer (double counting, scrub traffic leaking
+// into host counters) fails here even when the outcomes stay right.
+struct TelemetryGoldenRow {
+  ecc::SchemeKind kind;
+  std::uint64_t claim_clean, claim_corrected, claim_detected, corrected_units,
+      faults_single_bit, faults_permanent;
+};
+
+constexpr TelemetryGoldenRow kTelemetryGolden[] = {
+    {ecc::SchemeKind::kIecc, 136, 24, 32, 27, 69, 70},
+    {ecc::SchemeKind::kSecDed, 136, 24, 32, 219, 69, 70},
+    {ecc::SchemeKind::kPair4, 20, 116, 56, 808, 69, 70},
+};
+
+TEST(EngineTelemetry, GoldenCounterValues) {
+  for (const auto& g : kTelemetryGolden) {
+    SCOPED_TRACE(ecc::ToString(g.kind));
+    ScenarioTelemetry tel;
+    RunMonteCarlo(GoldenConfig(g.kind, /*threads=*/1), kGoldenTrials, &tel);
+    EXPECT_EQ(tel.trial.codec.claim_clean, g.claim_clean);
+    EXPECT_EQ(tel.trial.codec.claim_corrected, g.claim_corrected);
+    EXPECT_EQ(tel.trial.codec.claim_detected, g.claim_detected);
+    EXPECT_EQ(tel.trial.codec.corrected_units, g.corrected_units);
+    const auto bit_index =
+        static_cast<std::size_t>(faults::FaultType::kSingleBit);
+    EXPECT_EQ(tel.trial.injection.by_type[bit_index], g.faults_single_bit);
+    EXPECT_EQ(tel.trial.injection.permanent, g.faults_permanent);
   }
 }
 

@@ -1,0 +1,173 @@
+// bench_diff — regression comparator for pair-report JSON artifacts.
+//
+//   bench_diff <baseline.json> <candidate.json> [--rel-tol F] [--abs-tol F]
+//              [--include-timing] [--allow-missing] [--ignore PREFIX]...
+//              [--all]
+//       Compares every numeric metric path of the two reports and prints a
+//       compact delta table. Exit 0: no regression; exit 1: at least one
+//       metric moved beyond tolerance (or a baseline path disappeared);
+//       exit 2: usage / unreadable / schema-invalid input.
+//   bench_diff --check <report.json>
+//       Schema validation only: exit 0 iff the file is a well-formed
+//       pair-report document.
+//
+// A "regression" is direction-agnostic: |relative change| > --rel-tol AND
+// |absolute change| > --abs-tol (both must exceed, so counters of 0 vs 1e-9
+// noise don't trip). The "timing." section is ignored unless
+// --include-timing is given — wall-clock is not reproducible. By default
+// only changed paths are printed; --all prints every compared path.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/diff.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
+
+using namespace pair_ecc;
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: bench_diff <baseline.json> <candidate.json>\n"
+         "                  [--rel-tol F] [--abs-tol F] [--include-timing]\n"
+         "                  [--allow-missing] [--ignore PREFIX]... [--all]\n"
+         "       bench_diff --check <report.json>\n";
+  return 2;
+}
+
+bool LoadReport(const std::string& path, telemetry::JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "bench_diff: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    *out = telemetry::JsonValue::Parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  const auto problems = telemetry::ValidateReportSchema(*out);
+  for (const auto& p : problems)
+    std::cerr << "bench_diff: " << path << ": " << p << "\n";
+  return problems.empty();
+}
+
+std::string FormatValue(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string FormatPercent(double rel) {
+  if (std::isinf(rel)) return rel > 0 ? "+inf" : "-inf";
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << (rel >= 0 ? "+" : "") << rel * 100.0 << "%";
+  return os.str();
+}
+
+int CmdCheck(const std::string& path) {
+  telemetry::JsonValue report;
+  if (!LoadReport(path, &report)) return 2;
+  std::cout << path << ": valid pair-report (tool "
+            << report.Find("tool")->AsString() << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  telemetry::DiffOptions options;
+  bool show_all = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_diff: flag " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_double = [&]() -> double {
+      const std::string value = next();
+      try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used == value.size()) return parsed;
+      } catch (const std::exception&) {
+      }
+      std::cerr << "bench_diff: flag " << arg << " needs a number, got \""
+                << value << "\"\n";
+      std::exit(2);
+    };
+    if (arg == "--check") {
+      return CmdCheck(next());
+    } else if (arg == "--rel-tol") {
+      options.rel_tol = next_double();
+    } else if (arg == "--abs-tol") {
+      options.abs_tol = next_double();
+    } else if (arg == "--include-timing") {
+      options.include_timing = true;
+    } else if (arg == "--allow-missing") {
+      options.fail_on_missing = false;
+    } else if (arg == "--ignore") {
+      options.ignore_prefixes.push_back(next());
+    } else if (arg == "--all") {
+      show_all = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "bench_diff: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) return Usage();
+
+  telemetry::JsonValue baseline, candidate;
+  if (!LoadReport(positional[0], &baseline) ||
+      !LoadReport(positional[1], &candidate))
+    return 2;
+
+  const telemetry::DiffResult result =
+      telemetry::CompareReports(baseline, candidate, options);
+
+  // Compact delta table: regressions first, then the rest of the changes.
+  std::vector<const telemetry::MetricDelta*> rows;
+  for (const auto& d : result.deltas)
+    if (d.regressed) rows.push_back(&d);
+  for (const auto& d : result.deltas)
+    if (!d.regressed && (show_all || d.baseline != d.candidate))
+      rows.push_back(&d);
+
+  std::size_t width = 24;
+  for (const auto* d : rows) width = std::max(width, d->path.size());
+  for (const auto& path : result.missing) width = std::max(width, path.size());
+
+  std::cout << result.deltas.size() << " metric(s) compared, "
+            << result.regressions << " regression(s)\n";
+  for (const auto* d : rows) {
+    std::cout << (d->regressed ? "REGRESSED " : "          ");
+    std::cout << d->path << std::string(width + 2 - d->path.size(), ' ')
+              << FormatValue(d->baseline) << " -> "
+              << FormatValue(d->candidate) << "  ("
+              << FormatPercent(d->RelChange()) << ")\n";
+  }
+  for (const auto& path : result.missing)
+    std::cout << (options.fail_on_missing ? "MISSING   " : "missing   ")
+              << path << "\n";
+  for (const auto& path : result.added) std::cout << "added     " << path << "\n";
+
+  return result.HasRegression() ? 1 : 0;
+}

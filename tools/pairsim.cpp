@@ -3,11 +3,15 @@
 //   pairsim codes
 //       Print every scheme's code configuration and overheads.
 //   pairsim reliability [--scheme S] [--mix M] [--faults N] [--trials T]
-//                       [--seed X] [--threads W]
+//                       [--seed X] [--threads W] [--json FILE]
 //       Single-shot Monte-Carlo outcome breakdown.
 //   pairsim lifetime    [--scheme S] [--epochs E] [--rate R] [--scrub K]
-//                       [--trials T] [--seed X] [--threads W]
+//                       [--trials T] [--seed X] [--threads W] [--json FILE]
 //       Fault accumulation over a deployment window with patrol scrubbing.
+//
+// --json FILE writes a versioned "pair-report" JSON document (schema in
+// docs/ARCHITECTURE.md §8): deterministic counters + metrics, wall-clock
+// in the separable "timing" section. Compare two with tools/bench_diff.
 //
 // Monte-Carlo commands shard trials over --threads workers (default: all
 // hardware threads); results are bitwise identical for any thread count.
@@ -32,6 +36,8 @@
 #include "reliability/engine.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/monte_carlo.hpp"
+#include "reliability/telemetry.hpp"
+#include "telemetry/report.hpp"
 #include "timing/controller.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
@@ -149,10 +155,12 @@ int CmdReliability(Args& args) {
   cfg.seed = args.GetU64("seed", 1);
   cfg.threads = args.GetUnsigned("threads", 0);
   const unsigned trials = args.GetUnsigned("trials", 500);
+  const std::string json_path = args.Get("json", "");
   args.CheckAllConsumed();
 
   const auto start = std::chrono::steady_clock::now();
-  const auto c = reliability::RunMonteCarlo(cfg, trials);
+  reliability::ScenarioTelemetry tel;
+  const auto c = reliability::RunMonteCarlo(cfg, trials, &tel);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   std::cout << "threads " << reliability::TrialEngine::ResolveThreads(cfg.threads)
@@ -179,6 +187,14 @@ int CmdReliability(Args& args) {
                             util::Table::Sci(ci.upper) + "]"});
   t.AddRow({"P(failure)/trial", util::Table::Sci(c.TrialFailureRate())});
   t.Print(std::cout);
+
+  if (!json_path.empty()) {
+    const auto report =
+        reliability::BuildScenarioReport(cfg, trials, c, tel);
+    if (!telemetry::WriteReportFile(report, json_path))
+      throw std::runtime_error("cannot write JSON report to " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
   return 0;
 }
 
@@ -192,10 +208,12 @@ int CmdLifetime(Args& args) {
   cfg.seed = args.GetU64("seed", 1);
   cfg.threads = args.GetUnsigned("threads", 0);
   const unsigned trials = args.GetUnsigned("trials", 200);
+  const std::string json_path = args.Get("json", "");
   args.CheckAllConsumed();
 
   const auto start = std::chrono::steady_clock::now();
-  const auto s = reliability::RunLifetime(cfg, trials);
+  reliability::ScenarioTelemetry tel;
+  const auto s = reliability::RunLifetime(cfg, trials, &tel);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   std::cout << "threads " << reliability::TrialEngine::ResolveThreads(cfg.threads)
@@ -213,6 +231,14 @@ int CmdLifetime(Args& args) {
   t.AddRow({"corrections", std::to_string(s.total_corrections)});
   t.AddRow({"scrub passes", std::to_string(s.total_scrub_writebacks)});
   t.Print(std::cout);
+
+  if (!json_path.empty()) {
+    const auto report =
+        reliability::BuildLifetimeReport(cfg, trials, s, tel);
+    if (!telemetry::WriteReportFile(report, json_path))
+      throw std::runtime_error("cannot write JSON report to " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
   return 0;
 }
 
@@ -278,9 +304,9 @@ int Usage() {
       << "usage: pairsim <codes|reliability|lifetime|perf> [--flag value]...\n"
          "  pairsim codes\n"
          "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
-         "                      [--threads 8]\n"
+         "                      [--threads 8] [--json out.json]\n"
          "  pairsim lifetime --scheme pair4 --epochs 50 --rate 0.1 --scrub 8\n"
-         "                   [--threads 8]\n"
+         "                   [--threads 8] [--json out.json]\n"
          "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n";
   return 2;
 }
