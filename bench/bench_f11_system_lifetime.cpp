@@ -1,0 +1,99 @@
+// F11 — full-system lifetimes: reliability and performance coupled.
+//
+// Where F1-F10 hold either the fault process or the timing model fixed,
+// F11 runs the event-driven system simulator (src/sim): demand traffic,
+// Poisson fault arrivals, patrol scrub, and threshold-driven repair
+// interleave over one event queue, and the merged command stream is timed
+// by the DDR4 controller. Two tables:
+//
+//   scheme_comparison  — per-scheme lifetime outcome probabilities next to
+//                        the latency/bandwidth the same scheme delivered
+//                        on the same demand stream;
+//   scrub_sweep        — PAIR-4 with patrol scrub off/slow/fast: the
+//                        reliability gain and the bus traffic it costs.
+#include "bench/bench_common.hpp"
+
+#include "sim/memory_system.hpp"
+#include "workload/generator.hpp"
+
+using namespace pair_ecc;
+
+namespace {
+
+constexpr double kFaultsPerMcycle = 150.0;
+constexpr unsigned kRequests = 120;
+
+sim::SystemConfig BaseConfig(ecc::SchemeKind kind) {
+  sim::SystemConfig cfg;
+  cfg.scheme = kind;
+  cfg.mix = faults::FaultMix::Inherent();
+  cfg.faults_per_mcycle = kFaultsPerMcycle;
+  cfg.scrub.interval_cycles = 4000;
+  cfg.repair.due_threshold = 2;
+  cfg.seed = bench::kBenchSeed;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report(
+      "F11", "system lifetimes: faults + scrub + repair + timing coupled");
+
+  const unsigned kTrials = report.Trials(400);
+  report.MetaInt("requests", kRequests);
+  report.MetaReal("faults_per_mcycle", kFaultsPerMcycle);
+
+  workload::WorkloadConfig wl;
+  wl.pattern = workload::Pattern::kHotspot;
+  wl.read_fraction = 0.67;
+  wl.intensity = 0.05;
+  wl.num_requests = kRequests;
+  wl.seed = bench::kBenchSeed;
+  const timing::Trace demand = workload::Generate(wl);
+
+  const std::vector<ecc::SchemeKind> schemes = {
+      ecc::SchemeKind::kSecDed, ecc::SchemeKind::kXed, ecc::SchemeKind::kDuo,
+      ecc::SchemeKind::kPair4};
+
+  util::Table t({"scheme", "P(SDC)", "P(DUE)", "corr/trial", "repairs",
+                 "spared", "avg RD lat", "GB/s"});
+  for (const auto kind : schemes) {
+    const sim::SystemConfig cfg = BaseConfig(kind);
+    const sim::SystemStats s = sim::RunSystemCampaign(cfg, demand, kTrials);
+    t.AddRow({ecc::ToString(kind), util::Table::Sci(s.SdcProbability()),
+              util::Table::Sci(s.DueProbability()),
+              util::Table::Fixed(static_cast<double>(s.corrected) /
+                                     static_cast<double>(s.trials),
+                                 2),
+              std::to_string(s.repair.repairs_attempted),
+              std::to_string(s.repair.rows_spared),
+              util::Table::Fixed(s.AvgReadLatency(), 1),
+              util::Table::Fixed(s.BytesPerCycle() / cfg.timing.tck_ns, 2)});
+  }
+  std::cout << "-- scheme comparison (" << kTrials << " lifetimes, "
+            << kRequests << "-request demand stream) --\n";
+  report.Emit("scheme_comparison", t);
+
+  util::Table sweep({"scrub interval", "P(SDC)", "P(DUE)", "rows scrubbed",
+                     "bus R+W", "avg RD lat"});
+  for (const std::uint64_t interval : {std::uint64_t{0}, std::uint64_t{8000},
+                                       std::uint64_t{2000}}) {
+    sim::SystemConfig cfg = BaseConfig(ecc::SchemeKind::kPair4);
+    cfg.scrub.interval_cycles = interval;
+    const sim::SystemStats s = sim::RunSystemCampaign(cfg, demand, kTrials);
+    sweep.AddRow({interval == 0 ? "off" : std::to_string(interval),
+                  util::Table::Sci(s.SdcProbability()),
+                  util::Table::Sci(s.DueProbability()),
+                  std::to_string(s.scrub_rows_scrubbed),
+                  std::to_string(s.bus_reads + s.bus_writes),
+                  util::Table::Fixed(s.AvgReadLatency(), 1)});
+  }
+  std::cout << "-- PAIR-4 patrol scrub sweep --\n";
+  report.Emit("scrub_sweep", sweep);
+
+  std::cout << "Shape check: stronger codes trade read latency for orders of\n"
+               "magnitude on P(SDC); faster patrol scrub buys reliability\n"
+               "with bus reads/writes, not demand latency.\n";
+  return 0;
+}

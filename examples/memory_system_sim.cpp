@@ -1,20 +1,19 @@
-// Scenario: evaluate the performance cost of a protection scheme on a
-// memory-bound workload before committing silicon. Drives the cycle-
-// approximate DDR4 controller with a chosen scheme and workload shape and
-// prints latency/bandwidth against the No-ECC baseline.
+// Scenario: evaluate a protection scheme as a *system*, not a codec —
+// demand traffic, time-dependent fault arrivals, patrol scrub, and
+// threshold-driven repair interleaved over one event queue (src/sim),
+// with every access timed by the cycle-approximate DDR4 controller.
 //
 // Usage: memory_system_sim [scheme] [pattern] [read_fraction]
 //   scheme  — noecc | iecc | secded | iecc+secded | xed | duo | pair2 |
 //             pair4 | pair4+secded            (default pair4)
 //   pattern — stream | random | hotspot | linear | strided  (default hotspot)
 //   read_fraction — in [0,1]                  (default 0.5)
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 
-#include "dram/rank.hpp"
-#include "ecc/scheme.hpp"
-#include "timing/controller.hpp"
+#include "sim/memory_system.hpp"
 #include "workload/generator.hpp"
 
 using namespace pair_ecc;
@@ -51,48 +50,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  workload::WorkloadConfig cfg;
-  cfg.pattern = patterns.at(pattern_name);
-  cfg.read_fraction = read_fraction;
-  cfg.intensity = 0.12;
-  cfg.num_requests = 40000;
-  cfg.seed = 99;
+  // A short but busy demand window: 200 requests at moderate intensity
+  // (the functional ECC decode dominates runtime, so examples stay small).
+  workload::WorkloadConfig wl;
+  wl.pattern = patterns.at(pattern_name);
+  wl.read_fraction = read_fraction;
+  wl.intensity = 0.12;
+  wl.num_requests = 200;
+  wl.seed = 99;
+  const timing::Trace demand = workload::Generate(wl);
 
-  const timing::TimingParams params = timing::TimingParams::Ddr4_3200();
-  auto run = [&](ecc::SchemeKind kind) {
-    dram::RankGeometry rg;
-    dram::Rank rank(rg);
-    auto scheme = ecc::MakeScheme(kind, rank);
-    timing::Controller ctrl(
-        params, timing::SchemeTiming::FromPerf(scheme->Perf(), params));
-    auto trace = workload::Generate(cfg);
-    const auto stats = ctrl.Run(trace);
-    if (!ctrl.checker().violations().empty()) {
-      std::cerr << "protocol violation: " << ctrl.checker().violations()[0]
-                << "\n";
-      std::exit(1);
-    }
-    return stats;
-  };
+  sim::SystemConfig cfg;
+  cfg.scheme = schemes.at(scheme_name);
+  cfg.faults_per_mcycle = 100.0;     // stressful: faults arrive mid-run
+  cfg.scrub.interval_cycles = 2000;  // aggressive patrol scrub
+  cfg.repair.due_threshold = 2;
+  cfg.seed = 7;
 
-  const auto base = run(ecc::SchemeKind::kNoEcc);
-  const auto stats = run(schemes.at(scheme_name));
+  const unsigned trials = 10;
+  const sim::SystemStats s = sim::RunSystemCampaign(cfg, demand, trials);
 
-  const double ns_per_cycle = params.tck_ns;
+  const double ns_per_cycle = cfg.timing.tck_ns;
   std::cout << "workload: " << pattern_name << ", read fraction "
-            << read_fraction << ", 40000 requests\n"
+            << read_fraction << ", " << demand.size() << " requests, "
+            << trials << " lifetimes\n"
             << "scheme:   " << scheme_name << "\n\n"
-            << "  avg read latency : " << stats.avg_read_latency << " cyc ("
-            << stats.avg_read_latency * ns_per_cycle / 1000.0 << " us queued)\n"
-            << "  p99 read latency : " << stats.p99_read_latency << " cyc\n"
-            << "  bandwidth        : " << stats.BytesPerCycle() / ns_per_cycle
+            << "  P(SDC) / lifetime : " << s.SdcProbability() << "\n"
+            << "  P(DUE) / lifetime : " << s.DueProbability() << "\n"
+            << "  corrected reads   : " << s.corrected << "\n"
+            << "  faults injected   : " << s.faults_injected << "\n"
+            << "  rows scrubbed     : " << s.scrub_rows_scrubbed << "\n"
+            << "  repairs attempted : " << s.repair.repairs_attempted
+            << " (rows spared " << s.repair.rows_spared << ")\n"
+            << "  avg read latency  : " << s.AvgReadLatency() << " cyc\n"
+            << "  bandwidth         : " << s.BytesPerCycle() / ns_per_cycle
             << " GB/s\n"
-            << "  bus utilization  : " << stats.bus_utilization << "\n"
-            << "  row hit/miss/conf: " << stats.row_hits << "/"
-            << stats.row_misses << "/" << stats.row_conflicts << "\n"
-            << "  normalized perf  : "
-            << static_cast<double>(base.cycles) /
-                   static_cast<double>(stats.cycles)
-            << " (vs No-ECC)\n";
-  return 0;
+            << "  protocol checks   : "
+            << (s.protocol_violations == 0 ? "clean" : "VIOLATIONS") << "\n";
+  return s.protocol_violations == 0 ? 0 : 1;
 }

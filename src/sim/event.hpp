@@ -1,0 +1,103 @@
+// Deterministic event queue for the full-system simulator.
+//
+// Everything the MemorySystem does — demand traffic, fault arrivals, scrub
+// sweeps, repair actions — is an Event popped from one queue, so the
+// interleaving of the four activity streams is a pure function of the
+// configuration and the trial's RNG stream. Determinism rules:
+//
+//  * Total order. Events are ordered by (cycle, kind, seq): cycle first,
+//    then a fixed kind priority (faults land before maintenance, which runs
+//    before demand at the same cycle — a fault "during" a cycle is visible
+//    to that cycle's reads), then the monotone insertion sequence number as
+//    the final FIFO tie-break. No comparison ever consults a pointer value
+//    or hash order.
+//  * No wall clock. `cycle` is simulated time; nothing in the queue (or the
+//    simulator) reads a real clock, so runs replay bit-identically.
+//
+// The queue is a binary min-heap over a contiguous vector: O(log n)
+// push/pop, no per-event allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace pair_ecc::sim {
+
+/// Activity streams, in same-cycle execution order (lower value first).
+enum class EventKind : std::uint8_t {
+  kFaultArrival = 0,  ///< inject the next fault of the arrival process
+  kScrubStep = 1,     ///< patrol scrub: next rows of the sweep
+  kRepair = 2,        ///< maintenance on a row that crossed the DUE threshold
+  kDemand = 3,        ///< one request of the demand trace (payload = index)
+};
+
+struct Event {
+  std::uint64_t cycle = 0;
+  EventKind kind = EventKind::kDemand;
+  std::uint32_t payload = 0;  ///< demand: trace index; repair: row slot
+  std::uint64_t seq = 0;      ///< insertion order, assigned by the queue
+
+  /// Strict total order: (cycle, kind, seq).
+  friend bool operator<(const Event& a, const Event& b) noexcept {
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.seq < b.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  void Push(std::uint64_t cycle, EventKind kind, std::uint32_t payload = 0) {
+    heap_.push_back(Event{cycle, kind, payload, next_seq_++});
+    SiftUp(heap_.size() - 1);
+  }
+
+  bool Empty() const noexcept { return heap_.empty(); }
+  std::size_t Size() const noexcept { return heap_.size(); }
+
+  /// The earliest event without removing it.
+  const Event& Top() const {
+    PAIR_CHECK(!heap_.empty(), "EventQueue::Top on empty queue");
+    return heap_.front();
+  }
+
+  Event Pop() {
+    PAIR_CHECK(!heap_.empty(), "EventQueue::Pop on empty queue");
+    const Event top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+ private:
+  void SiftUp(std::size_t i) {
+    while (i != 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[i] < heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    for (;;) {
+      const std::size_t left = 2 * i + 1, right = 2 * i + 2;
+      std::size_t smallest = i;
+      if (left < heap_.size() && heap_[left] < heap_[smallest])
+        smallest = left;
+      if (right < heap_.size() && heap_[right] < heap_[smallest])
+        smallest = right;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pair_ecc::sim

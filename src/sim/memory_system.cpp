@@ -1,0 +1,413 @@
+#include "sim/memory_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "reliability/outcome.hpp"
+#include "util/contract.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::sim {
+
+namespace {
+
+/// Cycles the simulation keeps running past the last demand arrival so
+/// in-flight traffic and trailing maintenance can complete.
+constexpr std::uint64_t kDrainMarginCycles = 20000;
+
+std::int64_t ShardCount(std::uint64_t trials) {
+  return static_cast<std::int64_t>(
+      (trials + reliability::TrialEngine::kShardTrials - 1) /
+      reliability::TrialEngine::kShardTrials);
+}
+
+}  // namespace
+
+void SystemConfig::Validate() const {
+  geometry.Validate();
+  timing.Validate();
+  PAIR_CHECK(faults_per_mcycle >= 0.0,
+             "SystemConfig: negative fault rate " << faults_per_mcycle);
+  PAIR_CHECK(working_rows != 0 && lines_per_row != 0,
+             "SystemConfig: empty working set");
+  PAIR_CHECK(scrub.rows_per_step != 0,
+             "SystemConfig: scrub.rows_per_step must be positive");
+  // Working-set rows land in geometry banks; the timing model must know
+  // every bank the maintenance traffic can address.
+  PAIR_CHECK(geometry.device.banks <= timing.banks,
+             "SystemConfig: geometry has " << geometry.device.banks
+                                           << " banks but the timing model "
+                                           << timing.banks);
+}
+
+SystemStats& SystemStats::operator+=(const SystemStats& other) {
+  trials += other.trials;
+  demand_reads += other.demand_reads;
+  demand_writes += other.demand_writes;
+  no_error += other.no_error;
+  corrected += other.corrected;
+  due += other.due;
+  sdc_miscorrected += other.sdc_miscorrected;
+  sdc_undetected += other.sdc_undetected;
+  trials_with_sdc += other.trials_with_sdc;
+  trials_with_due += other.trials_with_due;
+  first_sdc_cycle_sum += other.first_sdc_cycle_sum;
+  faults_injected += other.faults_injected;
+  scrub_steps += other.scrub_steps;
+  scrub_rows_scrubbed += other.scrub_rows_scrubbed;
+  demand_writebacks += other.demand_writebacks;
+  repair += other.repair;
+  sim_cycles += other.sim_cycles;
+  bus_reads += other.bus_reads;
+  bus_writes += other.bus_writes;
+  row_hits += other.row_hits;
+  row_misses += other.row_misses;
+  row_conflicts += other.row_conflicts;
+  refreshes += other.refreshes;
+  read_latency_sum += other.read_latency_sum;
+  read_latency += other.read_latency;
+  protocol_violations += other.protocol_violations;
+  return *this;
+}
+
+MemorySystem::MemorySystem(const SystemConfig& config,
+                           const reliability::WorkingSet& ws,
+                           const timing::Trace& demand,
+                           util::Xoshiro256& rng)
+    : config_(config),
+      ws_(ws),
+      demand_(demand),
+      rng_(rng),
+      ctx_(config.geometry, config.scheme, ws, rng),
+      injector_(ctx_.rank, ws.rows),
+      scrub_(config.scrub, static_cast<unsigned>(ws.rows.size())),
+      repair_(config.repair, static_cast<unsigned>(ws.rows.size())),
+      horizon_(config.horizon_cycles != 0
+                   ? config.horizon_cycles
+                   : (demand.empty()
+                          ? kDrainMarginCycles
+                          : demand.back().arrival + kDrainMarginCycles)) {}
+
+std::size_t MemorySystem::SlotOf(const dram::Address& addr) const noexcept {
+  // Counter-style hash: the same demand address always touches the same
+  // ground-truth line, spreading the trace's locality structure over the
+  // working set deterministically.
+  const std::uint64_t key = (static_cast<std::uint64_t>(addr.bank) << 42) ^
+                            (static_cast<std::uint64_t>(addr.row) << 21) ^
+                            static_cast<std::uint64_t>(addr.col);
+  return static_cast<std::size_t>(util::SplitMix64::Mix(key) %
+                                  ctx_.truth.size());
+}
+
+std::uint64_t MemorySystem::NextFaultGap(util::Xoshiro256& rng) const {
+  const double lambda = config_.faults_per_mcycle / 1e6;
+  // Exponential inter-arrival via inversion; UniformDouble() is in [0, 1).
+  const double gap = -std::log(1.0 - rng.UniformDouble()) / lambda;
+  if (!(gap >= 1.0)) return 1;
+  if (gap >= static_cast<double>(horizon_) + 2.0) return horizon_ + 1;
+  return static_cast<std::uint64_t>(gap);
+}
+
+void MemorySystem::EmitMaintenance(std::uint64_t cycle, timing::Op op,
+                                   const dram::Address& addr) {
+  timing::Request req;
+  req.arrival = cycle;
+  req.op = op;
+  req.rank = 0;
+  req.addr = addr;
+  maintenance_.push_back(req);
+}
+
+void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
+  EventQueue queue;
+  if (config_.faults_per_mcycle > 0.0)
+    queue.Push(NextFaultGap(rng_), EventKind::kFaultArrival);
+  if (scrub_.PatrolEnabled())
+    queue.Push(scrub_.Interval(), EventKind::kScrubStep);
+  std::size_t demand_count = 0;
+  for (std::size_t i = 0; i < demand_.size(); ++i) {
+    if (demand_[i].arrival > horizon_) break;
+    queue.Push(demand_[i].arrival, EventKind::kDemand,
+               static_cast<std::uint32_t>(i));
+    ++demand_count;
+  }
+
+  bool saw_sdc = false;
+  bool saw_due = false;
+  std::uint64_t first_sdc_cycle = horizon_;
+  std::vector<unsigned> step_rows;
+
+  // ---- functional pass: one event queue interleaves all four streams ----
+  while (!queue.Empty()) {
+    const Event e = queue.Pop();
+    // Pop order is non-decreasing in cycle: everything left is also beyond
+    // the horizon, including the self-rescheduling fault/scrub chains.
+    if (e.cycle > horizon_) break;
+    switch (e.kind) {
+      case EventKind::kFaultArrival: {
+        injector_.InjectFromMix(config_.mix, rng_);
+        ++stats.faults_injected;
+        queue.Push(e.cycle + NextFaultGap(rng_), EventKind::kFaultArrival);
+        break;
+      }
+      case EventKind::kScrubStep: {
+        scrub_.NextStep(step_rows);
+        for (const unsigned slot : step_rows) {
+          const faults::RowRef& r = ws_.rows[slot];
+          ctx_.scheme->ScrubRowFull(r.bank, r.row);
+          ++stats.scrub_rows_scrubbed;
+          // The sweep's bus cost: read every working line of the row and
+          // write the repaired image back.
+          for (const unsigned col : ws_.cols) {
+            EmitMaintenance(e.cycle, timing::Op::kRead, {r.bank, r.row, col});
+            EmitMaintenance(e.cycle, timing::Op::kWrite, {r.bank, r.row, col});
+          }
+        }
+        ++stats.scrub_steps;
+        queue.Push(e.cycle + scrub_.Interval(), EventKind::kScrubStep);
+        break;
+      }
+      case EventKind::kRepair: {
+        const faults::RowRef& r = ws_.rows[e.payload];
+        repair_.Execute(e.payload, *ctx_.scheme, r.bank, r.row);
+        // March cost at column granularity: save + complement-write +
+        // read-back + restore per working line.
+        for (const unsigned col : ws_.cols) {
+          EmitMaintenance(e.cycle, timing::Op::kRead, {r.bank, r.row, col});
+          EmitMaintenance(e.cycle, timing::Op::kWrite, {r.bank, r.row, col});
+          EmitMaintenance(e.cycle, timing::Op::kRead, {r.bank, r.row, col});
+          EmitMaintenance(e.cycle, timing::Op::kWrite, {r.bank, r.row, col});
+        }
+        break;
+      }
+      case EventKind::kDemand: {
+        const timing::Request& req = demand_[e.payload];
+        const std::size_t slot = SlotOf(req.addr);
+        const auto& [addr, truth_line] = ctx_.truth[slot];
+        if (req.op == timing::Op::kRead) {
+          const ecc::ReadResult read = ctx_.scheme->ReadLine(addr);
+          const reliability::Outcome outcome =
+              reliability::Classify(read.claim, read.data, truth_line);
+          tel.corrected_units.Record(read.corrected_units);
+          ++stats.demand_reads;
+          switch (outcome) {
+            case reliability::Outcome::kNoError: ++stats.no_error; break;
+            case reliability::Outcome::kCorrected: ++stats.corrected; break;
+            case reliability::Outcome::kDue: ++stats.due; break;
+            case reliability::Outcome::kSdcMiscorrected:
+              ++stats.sdc_miscorrected;
+              break;
+            case reliability::Outcome::kSdcUndetected:
+              ++stats.sdc_undetected;
+              break;
+          }
+          if (outcome == reliability::Outcome::kDue) {
+            saw_due = true;
+            const unsigned row_slot =
+                static_cast<unsigned>(slot / ws_.cols.size());
+            if (repair_.OnDue(row_slot))
+              queue.Push(e.cycle + repair_.Latency(), EventKind::kRepair,
+                         row_slot);
+          }
+          if (reliability::IsSdc(outcome) && !saw_sdc) {
+            saw_sdc = true;
+            first_sdc_cycle = e.cycle;
+          }
+          if (outcome == reliability::Outcome::kCorrected &&
+              scrub_.DemandWriteback()) {
+            ctx_.scheme->ScrubLine(addr);
+            ++stats.demand_writebacks;
+            EmitMaintenance(e.cycle, timing::Op::kWrite, addr);
+          }
+        } else {
+          // Demand write: the host re-writes the line's current contents
+          // (ground truth is unchanged; transient damage in the written
+          // cells is overwritten, stuck cells swallow the write).
+          ctx_.scheme->WriteLine(addr, truth_line);
+          ++stats.demand_writes;
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- timing pass: demand + generated maintenance through the DDR4
+  // controller (which mirrors every command into the protocol checker) ----
+  std::vector<timing::Request> all;
+  all.reserve(demand_count + maintenance_.size());
+  all.insert(all.end(), demand_.begin(),
+             demand_.begin() + static_cast<std::ptrdiff_t>(demand_count));
+  all.insert(all.end(), maintenance_.begin(), maintenance_.end());
+  std::vector<std::size_t> order(all.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Stable: equal arrivals keep demand (lower index) ahead of maintenance.
+  std::stable_sort(order.begin(), order.end(),
+                   [&all](std::size_t a, std::size_t b) {
+                     return all[a].arrival < all[b].arrival;
+                   });
+  timing::Trace merged;
+  merged.reserve(all.size());
+  for (const std::size_t i : order) merged.push_back(all[i]);
+
+  timing::Controller controller(
+      config_.timing,
+      timing::SchemeTiming::FromPerf(ctx_.scheme->Perf(), config_.timing));
+  const timing::SimStats ts = controller.Run(merged);
+  stats.protocol_violations += controller.checker().violations().size();
+  PAIR_DCHECK(controller.checker().violations().empty(),
+              "sim command stream violated DDR4 protocol: "
+                  << controller.checker().violations().front());
+
+  stats.sim_cycles += ts.cycles;
+  stats.bus_reads += ts.reads;
+  stats.bus_writes += ts.writes;
+  stats.row_hits += ts.row_hits;
+  stats.row_misses += ts.row_misses;
+  stats.row_conflicts += ts.row_conflicts;
+  stats.refreshes += ts.refreshes;
+  for (std::size_t j = 0; j < order.size(); ++j) {
+    const std::size_t i = order[j];
+    if (i < demand_count && all[i].op == timing::Op::kRead) {
+      const std::uint64_t latency = merged[j].Latency();
+      stats.read_latency_sum += latency;
+      stats.read_latency.Record(latency);
+    }
+  }
+
+  ++stats.trials;
+  stats.trials_with_sdc += saw_sdc ? 1 : 0;
+  stats.trials_with_due += saw_due ? 1 : 0;
+  stats.first_sdc_cycle_sum += first_sdc_cycle;
+  stats.repair += repair_.counters();
+
+  // Harvest codec + injection counters; pure reads, no RNG draws.
+  tel.codec += ctx_.scheme->counters();
+  tel.injection += injector_.counters();
+  maintenance_.clear();
+}
+
+SystemStats RunSystemCampaign(const SystemConfig& config,
+                              const timing::Trace& demand, unsigned trials,
+                              reliability::ScenarioTelemetry* telemetry) {
+  config.Validate();
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    const timing::Request& req = demand[i];
+    PAIR_CHECK(req.addr.bank < config.timing.banks,
+               "demand request " << i << ": bank " << req.addr.bank
+                                 << " outside the timing model's "
+                                 << config.timing.banks);
+    PAIR_CHECK(req.rank < config.timing.ranks,
+               "demand request " << i << ": rank " << req.rank << " of "
+                                 << config.timing.ranks);
+    PAIR_CHECK(i == 0 || req.arrival >= demand[i - 1].arrival,
+               "demand trace must be sorted by arrival (request " << i << ")");
+  }
+
+  const reliability::WorkingSet ws = reliability::MakeWorkingSet(
+      config.geometry, config.working_rows, config.lines_per_row,
+      /*row_mul=*/37, /*row_off=*/5);
+
+  struct CampaignAccum {
+    SystemStats stats;
+    reliability::TrialTelemetry tel;
+
+    CampaignAccum& operator+=(const CampaignAccum& other) {
+      stats += other.stats;
+      tel += other.tel;
+      return *this;
+    }
+  };
+
+  const reliability::TrialEngine engine(config.threads);
+  CampaignAccum accum = engine.Run<CampaignAccum>(
+      config.seed, trials,
+      [&config, &ws, &demand](std::uint64_t /*trial*/, util::Xoshiro256& rng,
+                              CampaignAccum& acc) {
+        MemorySystem system(config, ws, demand, rng);
+        system.Run(acc.stats, acc.tel);
+      },
+      telemetry != nullptr ? &telemetry->engine : nullptr);
+  if (telemetry != nullptr) telemetry->trial = std::move(accum.tel);
+  return accum.stats;
+}
+
+telemetry::Report BuildSystemReport(
+    const SystemConfig& config, unsigned trials, std::size_t demand_requests,
+    const SystemStats& stats, const reliability::ScenarioTelemetry& telemetry) {
+  telemetry::Report report("pairsim-system");
+  report.MetaString("scheme", ecc::ToString(config.scheme));
+  report.MetaInt("seed", static_cast<std::int64_t>(config.seed));
+  report.MetaInt("trials", trials);
+  report.MetaInt("shards", ShardCount(trials));
+  report.MetaInt("demand_requests",
+                 static_cast<std::int64_t>(demand_requests));
+  report.MetaReal("faults_per_mcycle", config.faults_per_mcycle);
+  report.MetaInt("horizon_cycles",
+                 static_cast<std::int64_t>(config.horizon_cycles));
+  report.MetaInt("scrub_interval_cycles",
+                 static_cast<std::int64_t>(config.scrub.interval_cycles));
+  report.MetaInt("scrub_rows_per_step", config.scrub.rows_per_step);
+  report.MetaInt("demand_writeback", config.scrub.demand_writeback ? 1 : 0);
+  report.MetaInt("due_threshold", config.repair.due_threshold);
+  report.MetaInt("repair_latency_cycles",
+                 static_cast<std::int64_t>(config.repair.repair_latency_cycles));
+  report.MetaInt("enable_sparing", config.repair.enable_sparing ? 1 : 0);
+  report.MetaInt("working_rows", config.working_rows);
+  report.MetaInt("lines_per_row", config.lines_per_row);
+
+  auto& c = report.counters();
+  c.Set("system.trials", stats.trials);
+  c.Set("system.demand.reads", stats.demand_reads);
+  c.Set("system.demand.writes", stats.demand_writes);
+  c.Set("system.outcome.no_error", stats.no_error);
+  c.Set("system.outcome.corrected", stats.corrected);
+  c.Set("system.outcome.due", stats.due);
+  c.Set("system.outcome.sdc_miscorrected", stats.sdc_miscorrected);
+  c.Set("system.outcome.sdc_undetected", stats.sdc_undetected);
+  c.Set("system.trials_with_sdc", stats.trials_with_sdc);
+  c.Set("system.trials_with_due", stats.trials_with_due);
+  c.Set("system.first_sdc_cycle_sum", stats.first_sdc_cycle_sum);
+  c.Set("system.faults_injected", stats.faults_injected);
+  c.Set("system.scrub.steps", stats.scrub_steps);
+  c.Set("system.scrub.rows", stats.scrub_rows_scrubbed);
+  c.Set("system.scrub.demand_writebacks", stats.demand_writebacks);
+  c.Set("system.repair.attempted", stats.repair.repairs_attempted);
+  c.Set("system.repair.symbols_marked", stats.repair.symbols_marked);
+  c.Set("system.repair.rows_spared", stats.repair.rows_spared);
+  c.Set("system.repair.sparing_exhausted", stats.repair.sparing_exhausted);
+  c.Set("system.repair.lines_lost", stats.repair.lines_lost);
+  c.Set("system.repair.generic_row_scrubs", stats.repair.generic_row_scrubs);
+  c.Set("system.bus.reads", stats.bus_reads);
+  c.Set("system.bus.writes", stats.bus_writes);
+  c.Set("system.bus.row_hits", stats.row_hits);
+  c.Set("system.bus.row_misses", stats.row_misses);
+  c.Set("system.bus.row_conflicts", stats.row_conflicts);
+  c.Set("system.bus.refreshes", stats.refreshes);
+  c.Set("system.sim_cycles", stats.sim_cycles);
+  c.Set("system.read_latency_sum", stats.read_latency_sum);
+  c.Set("system.protocol_violations", stats.protocol_violations);
+
+  report.AddMetric("system.sdc_probability", stats.SdcProbability());
+  report.AddMetric("system.due_probability", stats.DueProbability());
+  report.AddMetric("system.avg_read_latency_cycles", stats.AvgReadLatency());
+  report.AddMetric("system.bytes_per_cycle", stats.BytesPerCycle());
+  report.AddMetric("system.bandwidth_gbps",
+                   stats.BytesPerCycle() / config.timing.tck_ns);
+  report.AddMetric("system.avg_cycles_per_trial", stats.AvgCyclesPerTrial());
+  report.AddMetric(
+      "system.mean_first_sdc_cycle",
+      stats.trials ? static_cast<double>(stats.first_sdc_cycle_sum) /
+                         static_cast<double>(stats.trials)
+                   : 0.0);
+
+  if (!stats.read_latency.counts().empty())
+    report.AddHistogram("system.read_latency_cycles", stats.read_latency);
+
+  reliability::AddTrialTelemetry(report, telemetry.trial);
+  reliability::AddEngineTiming(report, telemetry.engine);
+  return report;
+}
+
+}  // namespace pair_ecc::sim

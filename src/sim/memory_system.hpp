@@ -1,0 +1,213 @@
+// Event-driven full-system memory simulator: the layer where the paper's
+// system-level claims are actually measured.
+//
+// A MemorySystem couples the pieces the repo previously only wired together
+// ad hoc in examples/:
+//
+//   demand traffic      a timing::Trace (file-loaded or synthetic) whose
+//                       reads/writes are BOTH functionally executed against
+//                       an ecc::Scheme (decode, classify vs ground truth)
+//                       AND timed by the cycle-approximate
+//                       timing::Controller;
+//   fault arrivals      a Poisson process in simulated cycles
+//                       (faults_per_mcycle) feeding faults::Injector — the
+//                       time-dependent generalisation of the lifetime
+//                       engine's per-epoch arrivals;
+//   scrub               a ScrubScheduler: patrol sweeps at a configured
+//                       rate plus optional demand writeback;
+//   repair              a RepairPolicy: rows whose demand reads keep
+//                       reporting DUEs get a march diagnosis / row sparing
+//                       via core/repair.
+//
+// All four streams advance through ONE EventQueue (see event.hpp for the
+// total order), so their interleaving is reproducible: a trial is a pure
+// function of (config, demand trace, per-trial RNG stream). Campaigns fan
+// trials out through reliability::TrialEngine and inherit its determinism
+// contract — SystemStats is integer counters + fixed-bucket histograms
+// merged in shard order, so campaign results are bitwise identical for any
+// thread count.
+//
+// Timing coupling: the functional pass runs first (it decides which
+// maintenance traffic exists and when); the demand trace merged with the
+// generated scrub/repair accesses then drives the Controller, which mirrors
+// every command into the ProtocolChecker — PAIR_DCHECK builds abort on any
+// violation, so scrub/repair traffic cannot silently break DDR4 timing.
+// All latency/bandwidth figures are simulated cycles, never wall clock,
+// and therefore belong to the deterministic report sections.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/geometry.hpp"
+#include "ecc/scheme.hpp"
+#include "faults/fault_model.hpp"
+#include "reliability/engine.hpp"
+#include "reliability/telemetry.hpp"
+#include "sim/event.hpp"
+#include "sim/repair_policy.hpp"
+#include "sim/scrub.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "timing/controller.hpp"
+#include "timing/request.hpp"
+
+namespace pair_ecc::sim {
+
+struct SystemConfig {
+  ecc::SchemeKind scheme = ecc::SchemeKind::kPair4;
+  dram::RankGeometry geometry;
+  faults::FaultMix mix = faults::FaultMix::Inherent();
+  /// Expected fault arrivals per million simulated cycles (Poisson process;
+  /// exponential inter-arrival times drawn from the trial stream).
+  double faults_per_mcycle = 20.0;
+  /// Simulation end, cycles. 0 derives it from the demand trace (last
+  /// arrival plus a drain margin).
+  std::uint64_t horizon_cycles = 0;
+  ScrubConfig scrub;
+  RepairConfig repair;
+  timing::TimingParams timing = timing::TimingParams::Ddr4_3200();
+  unsigned working_rows = 2;   ///< rows backing the functional data path
+  unsigned lines_per_row = 4;  ///< ground-truth lines per working row
+  std::uint64_t seed = 1;
+  /// Worker threads for the campaign engine; 0 = hardware_concurrency.
+  /// Results are bitwise identical for every thread count (engine.hpp).
+  unsigned threads = 0;
+
+  void Validate() const;
+};
+
+/// Campaign statistics: exact integers + fixed-bucket histograms only, so
+/// the shard-ordered reduce is bitwise reproducible. Latency/bandwidth are
+/// sums of simulated cycles; derived rates live in the report builder.
+struct SystemStats {
+  std::uint64_t trials = 0;
+
+  // Demand-path outcomes (functional reads classified vs ground truth).
+  std::uint64_t demand_reads = 0;
+  std::uint64_t demand_writes = 0;
+  std::uint64_t no_error = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t due = 0;
+  std::uint64_t sdc_miscorrected = 0;
+  std::uint64_t sdc_undetected = 0;
+  std::uint64_t trials_with_sdc = 0;
+  std::uint64_t trials_with_due = 0;
+  /// Sum over trials of the first-SDC cycle (horizon when the trial stayed
+  /// silent-corruption-free) — mean_first_sdc_cycle in the report.
+  std::uint64_t first_sdc_cycle_sum = 0;
+
+  // Fault process.
+  std::uint64_t faults_injected = 0;
+
+  // Maintenance.
+  std::uint64_t scrub_steps = 0;
+  std::uint64_t scrub_rows_scrubbed = 0;
+  std::uint64_t demand_writebacks = 0;
+  RepairCounters repair;
+
+  // Timing (simulated cycles from the Controller; deterministic).
+  std::uint64_t sim_cycles = 0;      ///< sum of per-trial completion cycles
+  std::uint64_t bus_reads = 0;       ///< demand + maintenance reads timed
+  std::uint64_t bus_writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t row_conflicts = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t read_latency_sum = 0;  ///< demand reads, arrival -> complete
+  telemetry::Histogram read_latency = ReadLatencyHistogram();
+  std::uint64_t protocol_violations = 0;  ///< checker findings (expect 0)
+
+  static telemetry::Histogram ReadLatencyHistogram() {
+    return telemetry::Histogram({32, 48, 64, 96, 128, 192, 256, 512, 1024});
+  }
+
+  double SdcProbability() const noexcept {
+    return trials ? static_cast<double>(trials_with_sdc) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  double DueProbability() const noexcept {
+    return trials ? static_cast<double>(trials_with_due) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  double AvgReadLatency() const noexcept {
+    const std::uint64_t n = read_latency.TotalCount();
+    return n ? static_cast<double>(read_latency_sum) / static_cast<double>(n)
+             : 0.0;
+  }
+  /// Data bandwidth over the whole campaign, bytes per cycle.
+  double BytesPerCycle() const noexcept {
+    return sim_cycles ? 64.0 * static_cast<double>(bus_reads + bus_writes) /
+                            static_cast<double>(sim_cycles)
+                      : 0.0;
+  }
+  double AvgCyclesPerTrial() const noexcept {
+    return trials ? static_cast<double>(sim_cycles) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+
+  SystemStats& operator+=(const SystemStats& other);
+
+  friend bool operator==(const SystemStats&, const SystemStats&) = default;
+};
+
+/// One trial: a fresh rank + scheme + ground truth, the four event streams,
+/// and the timing pass over the merged command stream.
+class MemorySystem {
+ public:
+  /// `demand` must be sorted by arrival (timing::Controller's contract);
+  /// it is shared read-only across trials.
+  MemorySystem(const SystemConfig& config, const reliability::WorkingSet& ws,
+               const timing::Trace& demand, util::Xoshiro256& rng);
+
+  /// Runs the trial to the horizon. Adds this trial into `stats` (one
+  /// trial's worth) and the codec/injection/corrected-units telemetry into
+  /// `tel`. Draws all randomness from the constructor's RNG stream.
+  void Run(SystemStats& stats, reliability::TrialTelemetry& tel);
+
+  std::uint64_t horizon() const noexcept { return horizon_; }
+
+ private:
+  /// Maps a demand address onto a ground-truth slot (index into truth).
+  std::size_t SlotOf(const dram::Address& addr) const noexcept;
+
+  std::uint64_t NextFaultGap(util::Xoshiro256& rng) const;
+
+  /// Appends one maintenance access to the timing stream.
+  void EmitMaintenance(std::uint64_t cycle, timing::Op op,
+                       const dram::Address& addr);
+
+  const SystemConfig& config_;
+  const reliability::WorkingSet& ws_;
+  const timing::Trace& demand_;
+  util::Xoshiro256& rng_;
+  reliability::TrialContext ctx_;
+  faults::Injector injector_;
+  ScrubScheduler scrub_;
+  RepairPolicy repair_;
+  std::uint64_t horizon_;
+  timing::Trace maintenance_;
+};
+
+/// Fans `trials` independent MemorySystem lifetimes out through the trial
+/// engine (bitwise identical for any `config.threads`). When `telemetry`
+/// is non-null it receives the merged codec/injection telemetry and the
+/// engine's wall-clock metrics.
+SystemStats RunSystemCampaign(const SystemConfig& config,
+                              const timing::Trace& demand, unsigned trials,
+                              reliability::ScenarioTelemetry* telemetry = nullptr);
+
+/// Builds the "pairsim-system" pair-report: meta from the config, the
+/// `system.*` counter/metric/histogram section from `stats`, codec/fault
+/// telemetry, and engine wall-clock in the (diff-ignored) timing section.
+telemetry::Report BuildSystemReport(const SystemConfig& config,
+                                    unsigned trials,
+                                    std::size_t demand_requests,
+                                    const SystemStats& stats,
+                                    const reliability::ScenarioTelemetry& telemetry);
+
+}  // namespace pair_ecc::sim

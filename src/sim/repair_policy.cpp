@@ -1,0 +1,52 @@
+#include "sim/repair_policy.hpp"
+
+#include "core/pair_scheme.hpp"
+#include "core/repair.hpp"
+#include "util/contract.hpp"
+
+namespace pair_ecc::sim {
+
+RepairPolicy::RepairPolicy(const RepairConfig& config, unsigned total_rows)
+    : config_(config), due_counts_(total_rows, 0), pending_(total_rows, false) {}
+
+bool RepairPolicy::OnDue(unsigned slot) {
+  if (!Enabled()) return false;
+  PAIR_CHECK_RANGE(slot < due_counts_.size(),
+                   "RepairPolicy: row slot " << slot << " of "
+                                             << due_counts_.size());
+  if (pending_[slot]) return false;
+  ++due_counts_[slot];
+  if (due_counts_[slot] < config_.due_threshold) return false;
+  pending_[slot] = true;
+  return true;
+}
+
+void RepairPolicy::Execute(unsigned slot, ecc::Scheme& scheme, unsigned bank,
+                           unsigned row) {
+  PAIR_CHECK_RANGE(slot < due_counts_.size(),
+                   "RepairPolicy: row slot " << slot << " of "
+                                             << due_counts_.size());
+  ++counters_.repairs_attempted;
+  if (auto* pair = dynamic_cast<core::PairScheme*>(&scheme)) {
+    const core::RepairReport report =
+        core::DiagnoseAndRepairRow(*pair, bank, row);
+    counters_.symbols_marked += report.symbols_marked;
+    if (report.unrepairable_codewords != 0 && config_.enable_sparing) {
+      const core::SparingReport sparing = core::SpareRow(*pair, bank, row);
+      if (sparing.repaired) {
+        ++counters_.rows_spared;
+        counters_.lines_lost += sparing.lines_lost;
+      } else {
+        ++counters_.sparing_exhausted;
+      }
+    }
+  } else {
+    // No repair list to extend: flush what a row scrub can flush.
+    scheme.ScrubRowFull(bank, row);
+    ++counters_.generic_row_scrubs;
+  }
+  due_counts_[slot] = 0;
+  pending_[slot] = false;
+}
+
+}  // namespace pair_ecc::sim

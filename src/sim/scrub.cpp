@@ -1,0 +1,30 @@
+#include "sim/scrub.hpp"
+
+#include "util/contract.hpp"
+
+namespace pair_ecc::sim {
+
+ScrubScheduler::ScrubScheduler(const ScrubConfig& config, unsigned total_rows)
+    : config_(config), total_rows_(total_rows) {
+  PAIR_CHECK(config.rows_per_step != 0,
+             "ScrubConfig: rows_per_step must be positive");
+}
+
+void ScrubScheduler::NextStep(std::vector<unsigned>& out) {
+  out.clear();
+  if (!PatrolEnabled()) return;
+  const unsigned count =
+      config_.rows_per_step < total_rows_ ? config_.rows_per_step
+                                          : total_rows_;
+  for (unsigned i = 0; i < count; ++i) {
+    out.push_back(cursor_);
+    ++cursor_;
+    if (cursor_ == total_rows_) {
+      cursor_ = 0;
+      ++sweeps_;
+    }
+  }
+  ++steps_;
+}
+
+}  // namespace pair_ecc::sim

@@ -1,0 +1,58 @@
+// Patrol-scrub scheduling for the full-system simulator.
+//
+// Real memory controllers scrub in two modes, both modelled here:
+//
+//  * patrol scrub — a background sweep that visits every row at a
+//    configured rate regardless of traffic. The scheduler walks the
+//    working-set rows round-robin, `rows_per_step` rows every
+//    `interval_cycles`, so the sweep rate (rows/cycle) is
+//    rows_per_step / interval_cycles independent of working-set size;
+//  * demand scrub — when a demand read corrects an error, the corrected
+//    line is written back immediately so the latent error does not
+//    accumulate toward uncorrectability. Toggled by `demand_writeback`.
+//
+// The scheduler is pure bookkeeping (cursor arithmetic, no RNG, no clock),
+// so it cannot perturb the simulator's determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pair_ecc::sim {
+
+struct ScrubConfig {
+  /// Cycles between patrol steps. 0 disables patrol scrubbing entirely.
+  std::uint64_t interval_cycles = 0;
+  /// Working-set rows scrubbed per patrol step.
+  unsigned rows_per_step = 1;
+  /// Demand scrub: write corrected demand reads back in place.
+  bool demand_writeback = true;
+};
+
+class ScrubScheduler {
+ public:
+  ScrubScheduler(const ScrubConfig& config, unsigned total_rows);
+
+  bool PatrolEnabled() const noexcept {
+    return config_.interval_cycles != 0 && total_rows_ != 0;
+  }
+  std::uint64_t Interval() const noexcept { return config_.interval_cycles; }
+  bool DemandWriteback() const noexcept { return config_.demand_writeback; }
+
+  /// Row slots (indices into the working set) the next patrol step covers,
+  /// advancing the sweep cursor. Appends to `out` (cleared first).
+  void NextStep(std::vector<unsigned>& out);
+
+  std::uint64_t steps() const noexcept { return steps_; }
+  /// Completed full sweeps over the working set.
+  std::uint64_t sweeps() const noexcept { return sweeps_; }
+
+ private:
+  ScrubConfig config_;
+  unsigned total_rows_;
+  unsigned cursor_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace pair_ecc::sim

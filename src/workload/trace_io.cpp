@@ -21,12 +21,12 @@ void WriteTraceFile(const timing::Trace& trace, const std::string& path) {
   WriteTrace(trace, os);
 }
 
-timing::Trace ReadTrace(std::istream& is) {
+timing::Trace ReadTrace(std::istream& is, const std::string& source) {
   timing::Trace trace;
   std::string line;
   unsigned line_no = 0;
   auto fail = [&](const std::string& what) {
-    throw std::runtime_error("trace line " + std::to_string(line_no) + ": " +
+    throw std::runtime_error(source + ":" + std::to_string(line_no) + ": " +
                              what);
   };
   while (std::getline(is, line)) {
@@ -46,7 +46,12 @@ timing::Trace ReadTrace(std::istream& is) {
     } else {
       fail("unknown op '" + op + "'");
     }
-    if (!(ss >> req.rank)) req.rank = 0;  // rank column is optional
+    if (!(ss >> req.rank)) {
+      // The rank column is optional; a present-but-unparsable one is not.
+      if (!ss.eof()) fail("bad rank column");
+      ss.clear();
+      req.rank = 0;
+    }
     std::string extra;
     if (ss >> extra) fail("trailing tokens");
     if (!trace.empty() && req.arrival < trace.back().arrival)
@@ -59,7 +64,7 @@ timing::Trace ReadTrace(std::istream& is) {
 timing::Trace ReadTraceFile(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("ReadTraceFile: cannot open " + path);
-  return ReadTrace(is);
+  return ReadTrace(is, path);
 }
 
 }  // namespace pair_ecc::workload

@@ -21,9 +21,11 @@ namespace pair_ecc::workload {
 void WriteTrace(const timing::Trace& trace, std::ostream& os);
 void WriteTraceFile(const timing::Trace& trace, const std::string& path);
 
-/// Parses a trace. Throws std::runtime_error with a line number on
-/// malformed input, out-of-order cycles, or unknown op codes.
-timing::Trace ReadTrace(std::istream& is);
+/// Parses a trace. Throws std::runtime_error with a "<source>:<line>:"
+/// diagnostic on malformed input, out-of-order cycles, unknown op codes,
+/// bad rank columns, or trailing tokens. `source` names the stream in the
+/// diagnostic (ReadTraceFile passes the path).
+timing::Trace ReadTrace(std::istream& is, const std::string& source = "<trace>");
 timing::Trace ReadTraceFile(const std::string& path);
 
 }  // namespace pair_ecc::workload

@@ -221,6 +221,70 @@ TEST_F(RepairTest, SpareRowFailsCleanlyWhenBudgetExhausted) {
   EXPECT_EQ(scheme_.ReadLine({0, 1, 0}).claim, Claim::kClean);
 }
 
+// ---------------------------------------------- repeated faults, exhaustion
+
+TEST_F(RepairTest, RepeatedRowFaultsExhaustSparing) {
+  // A row that keeps dying: each round a whole pin fails, sparing replaces
+  // the row, new data lands, and the next fault hits the spare. The
+  // per-bank spare budget bounds how often this works.
+  Xoshiro256 rng(40);
+  const Address addr{0, 1, 0};
+  for (unsigned round = 0; round < dram::Device::kSpareRowsPerBank; ++round) {
+    scheme_.WriteLine(addr, BitVec::Random(rg_.LineBits(), rng));
+    for (unsigned i = 0; i < rg_.device.PinLineBits(); ++i)
+      StickBit(3, dram::PinLineBit(rg_.device, 2, i));
+    ASSERT_EQ(scheme_.ReadLine(addr).claim, Claim::kDetected) << round;
+    const auto report = SpareRow(scheme_, 0, 1);
+    ASSERT_TRUE(report.repaired) << round;
+    // The spare is fresh: re-written content decodes clean again.
+    scheme_.WriteLine(addr, BitVec::Random(rg_.LineBits(), rng));
+    ASSERT_EQ(scheme_.ReadLine(addr).claim, Claim::kClean) << round;
+  }
+  EXPECT_EQ(rank_.device(3).SpareRowsLeft(0), 0u);
+
+  // One fault too many: no spares left, the row stays broken for good.
+  for (unsigned i = 0; i < rg_.device.PinLineBits(); ++i)
+    StickBit(3, dram::PinLineBit(rg_.device, 2, i));
+  const auto exhausted = SpareRow(scheme_, 0, 1);
+  EXPECT_FALSE(exhausted.repaired);
+  EXPECT_EQ(scheme_.ReadLine(addr).claim, Claim::kDetected);
+}
+
+TEST_F(RepairTest, AccumulatingFaultsOverflowErasureBudget) {
+  // Faults arriving one at a time into the same codeword: each diagnosis
+  // extends the repair list until the r = 4 erasure budget is gone, then
+  // the march refuses to mark and reports the codeword unrepairable.
+  Xoshiro256 rng(41);
+  std::vector<BitVec> lines;
+  for (unsigned col = 0; col < 64; ++col) {
+    lines.push_back(BitVec::Random(rg_.LineBits(), rng));
+    scheme_.WriteLine({0, 1, col}, lines.back());
+  }
+  const unsigned cols[] = {2, 12, 22, 32, 42};
+  unsigned marked_total = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    StickBit(3, dram::PinLineBit(rg_.device, 1, cols[i] * 8 + 4));
+    const auto report = DiagnoseAndRepairRow(scheme_, 0, 1);
+    EXPECT_EQ(report.unrepairable_codewords, 0u) << i;
+    marked_total += report.symbols_marked;
+  }
+  EXPECT_EQ(marked_total, 4u);
+
+  StickBit(3, dram::PinLineBit(rg_.device, 1, cols[4] * 8 + 4));
+  const auto over = DiagnoseAndRepairRow(scheme_, 0, 1);
+  EXPECT_EQ(over.unrepairable_codewords, 1u);
+  EXPECT_EQ(over.symbols_marked, 0u);
+  // With the whole erasure budget committed, the fifth defect leaves the
+  // decoder no margin: the read fails — as a DUE, or as a zero-distance
+  // miscorrection (which is exactly why the codeword must be retired).
+  const auto broken = scheme_.ReadLine({0, 1, 2});
+  EXPECT_TRUE(broken.claim == Claim::kDetected || broken.data != lines[2]);
+
+  // Escalation works: sparing retires the worn-out physical row.
+  const auto sparing = SpareRow(scheme_, 0, 1);
+  EXPECT_TRUE(sparing.repaired);
+}
+
 // ---------------------------------------------------------- RAS controller
 
 TEST_F(RepairTest, RasControllerAutoRepairsWeakColumn) {

@@ -3,6 +3,7 @@
 // file round trips.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -262,18 +263,76 @@ TEST(TraceIo, RejectsMalformedLines) {
     EXPECT_THROW(ReadTrace(in), std::runtime_error);
   }
   {
+    std::stringstream in("10 R 1 2 3 x\n");  // unparsable rank column
+    EXPECT_THROW(ReadTrace(in), std::runtime_error);
+  }
+  {
     std::stringstream in("10 R 1 2 3\n5 R 1 2 3\n");  // out of order
     EXPECT_THROW(ReadTrace(in), std::runtime_error);
   }
 }
 
-TEST(TraceIo, ErrorsCarryLineNumbers) {
+TEST(TraceIo, ErrorsCarrySourceAndLineNumber) {
   std::stringstream in("0 R 0 0 0\nbogus line here\n");
   try {
-    ReadTrace(in);
+    ReadTrace(in, "demand.trace");
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("demand.trace:2:"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, FileErrorsNameThePath) {
+  const std::string path = ::testing::TempDir() + "/pair_bad_trace.txt";
+  {
+    std::ofstream os(path);
+    os << "# ok comment\n0 R 0 0 0\n7 W 0 0\n";
+  }
+  try {
+    ReadTraceFile(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, RoundTripEveryPattern) {
+  for (Pattern p : {Pattern::kStream, Pattern::kRandom, Pattern::kHotspot,
+                    Pattern::kLinear, Pattern::kStrided}) {
+    WorkloadConfig cfg;
+    cfg.pattern = p;
+    cfg.num_requests = 300;
+    cfg.seed = 21;
+    const auto trace = Generate(cfg);
+    std::stringstream buffer;
+    WriteTrace(trace, buffer);
+    const auto parsed = ReadTrace(buffer, ToString(p));
+    ASSERT_EQ(parsed.size(), trace.size()) << ToString(p);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      ASSERT_EQ(parsed[i].arrival, trace[i].arrival) << ToString(p);
+      ASSERT_EQ(parsed[i].op, trace[i].op) << ToString(p);
+      ASSERT_EQ(parsed[i].addr, trace[i].addr) << ToString(p);
+      ASSERT_EQ(parsed[i].rank, trace[i].rank) << ToString(p);
+    }
+  }
+}
+
+TEST(TraceIo, SampleTraceParses) {
+  // The checked-in sample the CI smoke job replays through
+  // `pairsim system --trace`.
+  const auto trace =
+      ReadTraceFile(std::string(PAIR_TEST_DATA_DIR) + "/tiny_trace.txt");
+  ASSERT_EQ(trace.size(), 40u);
+  EXPECT_EQ(trace.front().arrival, 0u);
+  EXPECT_EQ(trace.back().arrival, 683u);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  for (const auto& req : trace) {
+    EXPECT_LT(req.addr.bank, 16u);
+    EXPECT_EQ(req.rank, 0u);
   }
 }
 

@@ -19,10 +19,17 @@
 //                       [--requests N] [--intensity I] [--seed X]
 //                       [--trace FILE] [--save-trace FILE]
 //       Cycle-approximate DDR4 simulation, normalised to No-ECC.
+//   pairsim system      [--scheme S] [--trace FILE | --pattern P
+//                       --requests N] [--fault-rate R] [--scrub-interval C]
+//                       [--due-threshold K] [--trials T] [--seed X]
+//                       [--threads W] [--json FILE]
+//       Event-driven full-system lifetimes: demand traffic, Poisson fault
+//       arrivals, patrol scrub, and threshold repair interleaved over one
+//       event queue, timed by the DDR4 controller (src/sim).
 //
 // Schemes:  noecc iecc secded iecc+secded xed duo pair2 pair4 pair4+secded
 // Mixes:    inherent cellonly clustered
-// Patterns: stream random hotspot
+// Patterns: stream random hotspot linear strided
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -37,6 +44,7 @@
 #include "reliability/lifetime.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "reliability/telemetry.hpp"
+#include "sim/memory_system.hpp"
 #include "telemetry/report.hpp"
 #include "timing/controller.hpp"
 #include "util/table.hpp"
@@ -299,15 +307,95 @@ int CmdPerf(Args& args) {
   return 0;
 }
 
+int CmdSystem(Args& args) {
+  sim::SystemConfig cfg;
+  cfg.scheme = ParseScheme(args.Get("scheme", "pair4"));
+  cfg.mix = ParseMix(args.Get("mix", "inherent"));
+  cfg.faults_per_mcycle = args.GetDouble("fault-rate", 20.0);
+  cfg.horizon_cycles = args.GetU64("horizon", 0);
+  cfg.scrub.interval_cycles = args.GetU64("scrub-interval", 5000);
+  cfg.scrub.rows_per_step = args.GetUnsigned("scrub-rows", 1);
+  cfg.scrub.demand_writeback = args.GetUnsigned("writeback", 1) != 0;
+  cfg.repair.due_threshold = args.GetUnsigned("due-threshold", 3);
+  cfg.repair.repair_latency_cycles = args.GetU64("repair-latency", 2000);
+  cfg.repair.enable_sparing = args.GetUnsigned("sparing", 1) != 0;
+  cfg.working_rows = args.GetUnsigned("rows", 2);
+  cfg.lines_per_row = args.GetUnsigned("lines", 4);
+  cfg.seed = args.GetU64("seed", 1);
+  cfg.threads = args.GetUnsigned("threads", 0);
+  const unsigned trials = args.GetUnsigned("trials", 200);
+  const std::string trace_path = args.Get("trace", "");
+  const std::string json_path = args.Get("json", "");
+
+  // Synthetic demand stream, used when no --trace file is given.
+  workload::WorkloadConfig wl;
+  wl.pattern = ParsePattern(args.Get("pattern", "hotspot"));
+  wl.read_fraction = args.GetDouble("reads", 0.67);
+  wl.num_requests = args.GetUnsigned("requests", 400);
+  wl.intensity = args.GetDouble("intensity", 0.05);
+  wl.seed = cfg.seed;
+  args.CheckAllConsumed();
+
+  const timing::Trace demand = trace_path.empty()
+                                   ? workload::Generate(wl)
+                                   : workload::ReadTraceFile(trace_path);
+
+  const auto start = std::chrono::steady_clock::now();
+  reliability::ScenarioTelemetry tel;
+  const sim::SystemStats s =
+      sim::RunSystemCampaign(cfg, demand, trials, &tel);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::cout << "threads "
+            << reliability::TrialEngine::ResolveThreads(cfg.threads) << ", "
+            << trials << " trials x " << demand.size() << " requests in "
+            << util::Table::Fixed(elapsed.count(), 2) << " s\n";
+
+  util::Table t({"metric", "value"});
+  t.AddRow({"trials", std::to_string(s.trials)});
+  t.AddRow({"demand reads / writes", std::to_string(s.demand_reads) + " / " +
+                                         std::to_string(s.demand_writes)});
+  t.AddRow({"P(SDC) within horizon", util::Table::Sci(s.SdcProbability())});
+  t.AddRow({"P(DUE) within horizon", util::Table::Sci(s.DueProbability())});
+  t.AddRow({"corrected reads", std::to_string(s.corrected)});
+  t.AddRow({"DUE reads", std::to_string(s.due)});
+  t.AddRow({"faults injected", std::to_string(s.faults_injected)});
+  t.AddRow({"rows patrol-scrubbed", std::to_string(s.scrub_rows_scrubbed)});
+  t.AddRow({"demand writebacks", std::to_string(s.demand_writebacks)});
+  t.AddRow({"repairs attempted", std::to_string(s.repair.repairs_attempted)});
+  t.AddRow({"rows spared (PPR)", std::to_string(s.repair.rows_spared)});
+  t.AddRow({"sparing exhausted", std::to_string(s.repair.sparing_exhausted)});
+  t.AddRow({"avg read latency (cyc)",
+            util::Table::Fixed(s.AvgReadLatency(), 1)});
+  t.AddRow({"bandwidth (GB/s)",
+            util::Table::Fixed(s.BytesPerCycle() / cfg.timing.tck_ns, 2)});
+  t.AddRow({"protocol violations", std::to_string(s.protocol_violations)});
+  t.Print(std::cout);
+
+  if (!json_path.empty()) {
+    const auto report =
+        sim::BuildSystemReport(cfg, trials, demand.size(), s, tel);
+    if (!telemetry::WriteReportFile(report, json_path))
+      throw std::runtime_error("cannot write JSON report to " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr
-      << "usage: pairsim <codes|reliability|lifetime|perf> [--flag value]...\n"
+      << "usage: pairsim <codes|reliability|lifetime|perf|system> "
+         "[--flag value]...\n"
          "  pairsim codes\n"
          "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
          "                      [--threads 8] [--json out.json]\n"
          "  pairsim lifetime --scheme pair4 --epochs 50 --rate 0.1 --scrub 8\n"
          "                   [--threads 8] [--json out.json]\n"
-         "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n";
+         "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n"
+         "  pairsim system --scheme pair4 [--trace t.txt | --pattern hotspot\n"
+         "                 --requests 400] [--fault-rate 20]\n"
+         "                 [--scrub-interval 5000] [--due-threshold 3]\n"
+         "                 [--trials 200] [--threads 8] [--json out.json]\n";
   return 2;
 }
 
@@ -322,6 +410,7 @@ int main(int argc, char** argv) {
     if (cmd == "reliability") return CmdReliability(args);
     if (cmd == "lifetime") return CmdLifetime(args);
     if (cmd == "perf") return CmdPerf(args);
+    if (cmd == "system") return CmdSystem(args);
     return Usage();
   } catch (const std::exception& e) {
     std::cerr << "pairsim: " << e.what() << "\n";
