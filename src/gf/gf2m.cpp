@@ -54,7 +54,10 @@ GfField::GfField(unsigned m, std::uint32_t poly) : m_(m), poly_(poly) {
 }
 
 const GfField& GfField::Get(unsigned m) {
+  // PAIR_ANALYZE_ALLOW(THR-STATIC: lock for the interning cache below)
   static std::mutex mu;
+  // Entries are immutable after construction and every access holds `mu`.
+  // PAIR_ANALYZE_ALLOW(THR-STATIC: write-once interning cache behind `mu`)
   static std::map<unsigned, std::unique_ptr<GfField>> cache;
   std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(m);

@@ -7,6 +7,7 @@
 #include "faults/injector.hpp"
 #include "reliability/engine.hpp"
 #include "reliability/telemetry.hpp"
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
@@ -112,6 +113,8 @@ OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials,
 
 LifetimeEstimate CombinePoisson(std::span<const OutcomeCounts> conditional,
                                 double lambda) {
+  PAIR_CHECK(std::isfinite(lambda),
+             "CombinePoisson lambda " << lambda << " is not finite");
   LifetimeEstimate est;
   if (conditional.empty() || lambda <= 0.0) return est;
   // P(N = n) for Poisson(lambda); the N = 0 term contributes nothing.

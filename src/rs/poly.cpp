@@ -21,6 +21,8 @@ Elem Eval(const GfField& f, const Poly& p, Elem x) noexcept {
 }
 
 Poly Add(const Poly& a, const Poly& b) {
+  // The decode loop uses AddInPlace on scratch polynomials instead.
+  // PAIR_ANALYZE_ALLOW(HOT-LOCAL: construction-time generator arithmetic)
   Poly out(std::max(a.size(), b.size()), 0);
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
   for (std::size_t i = 0; i < b.size(); ++i) out[i] ^= b[i];
@@ -30,6 +32,8 @@ Poly Add(const Poly& a, const Poly& b) {
 
 Poly Mul(const GfField& f, const Poly& a, const Poly& b) {
   if (Degree(a) < 0 || Degree(b) < 0) return {};
+  // Decode-loop polynomial products run in-place on DecodeScratch.
+  // PAIR_ANALYZE_ALLOW(HOT-LOCAL: construction-time generator arithmetic)
   Poly out(a.size() + b.size() - 1, 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] == 0) continue;

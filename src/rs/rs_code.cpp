@@ -57,6 +57,7 @@ void RsCode::ComputeParityInto(std::span<const Elem> data,
   }
 }
 
+// PAIR_ANALYZE_ALLOW(CON-SPAN: delegates to ComputeParityInto, which checks)
 std::vector<Elem> RsCode::ComputeParity(std::span<const Elem> data) const {
   std::vector<Elem> parity(r());
   ComputeParityInto(data, parity);
@@ -70,6 +71,7 @@ void RsCode::EncodeInto(std::span<const Elem> data, std::span<Elem> out) const {
   std::copy(data.begin(), data.end(), out.begin());
 }
 
+// PAIR_ANALYZE_ALLOW(CON-SPAN: delegates to EncodeInto, which checks)
 std::vector<Elem> RsCode::Encode(std::span<const Elem> data) const {
   std::vector<Elem> cw(n_);
   EncodeInto(data, cw);
@@ -103,6 +105,13 @@ void RsCode::SyndromesInto(std::span<const Elem> word,
                                      << " != n = " << n_);
   PAIR_DCHECK(out.size() == r(), "syndrome output length " << out.size()
                                      << " != r = " << r());
+  // Out-of-field symbols would index past the log tables in the Mul/Add
+  // below; every decode path funnels through here, so guard once (the loop
+  // is empty in release builds where PAIR_DCHECK compiles out).
+  for (unsigned i = 0; i < n_; ++i)
+    PAIR_DCHECK(word[i] < field_.Size(), "received symbol " << i << " = "
+                                             << word[i] << " outside GF(2^"
+                                             << field_.m() << ")");
   // S_j = c(alpha^(j+1)); with codeword index i at degree n-1-i, evaluate by
   // Horner over the word as written (highest degree first).
   for (unsigned j = 0; j < r(); ++j) {
@@ -113,18 +122,25 @@ void RsCode::SyndromesInto(std::span<const Elem> word,
   }
 }
 
+// PAIR_ANALYZE_ALLOW(CON-SPAN: delegates to SyndromesInto, which checks)
 std::vector<Elem> RsCode::Syndromes(std::span<const Elem> word) const {
   std::vector<Elem> syn(r());
   SyndromesInto(word, syn);
   return syn;
 }
 
+// A wrong-length word is simply not a codeword, so the extent test is a
+// legal answer rather than a contract violation. The allocating Syndromes
+// call is the documented cost of the scratch-free convenience overload.
+// PAIR_ANALYZE_ALLOW(CON-SPAN: wrong length is a legal not-a-codeword answer)
 bool RsCode::IsCodeword(std::span<const Elem> word) const {
   if (word.size() != n_) return false;
+  // PAIR_ANALYZE_ALLOW(HOT-COLDAPI: scratch-free convenience overload)
   const auto syn = Syndromes(word);
   return std::all_of(syn.begin(), syn.end(), [](Elem s) { return s == 0; });
 }
 
+// PAIR_ANALYZE_ALLOW(CON-SPAN: wrong length is a legal not-a-codeword answer)
 bool RsCode::IsCodeword(std::span<const Elem> word,
                         DecodeScratch& scratch) const {
   if (word.size() != n_) return false;
@@ -134,8 +150,10 @@ bool RsCode::IsCodeword(std::span<const Elem> word,
                      [](Elem s) { return s == 0; });
 }
 
+// PAIR_ANALYZE_ALLOW(CON-SPAN: delegates to the scratch Decode, which checks)
 DecodeResult RsCode::Decode(std::span<Elem> word,
                             std::span<const unsigned> erasures) const {
+  // PAIR_ANALYZE_ALLOW(HOT-LOCAL: scratch-free convenience overload)
   DecodeScratch scratch;
   DecodeResult result;
   result.status = Decode(word, erasures, scratch);

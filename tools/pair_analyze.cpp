@@ -1,0 +1,156 @@
+// pair_analyze CLI — runs the static-analysis rule registry over the
+// source tree and gates CI on the committed baseline.
+//
+//   pair_analyze --root . src tools bench            # list all findings
+//   pair_analyze --root . --json out.json            # emit pair-report JSON
+//   pair_analyze --root . --baseline tools/analyze_baseline.json --check
+//
+// --check exits 1 when any (rule, file) pair has more findings than the
+// baseline allows (zero without a baseline), printing only the new ones.
+// Regenerate the baseline with --json after an intentional change.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+
+namespace {
+
+using pair_ecc::analyze::AnalysisResult;
+using pair_ecc::analyze::Analyzer;
+using pair_ecc::analyze::BaselineFromReport;
+using pair_ecc::analyze::Finding;
+using pair_ecc::analyze::LoadSourceTree;
+using pair_ecc::analyze::NewFindings;
+using pair_ecc::analyze::ResultToReport;
+using pair_ecc::telemetry::JsonValue;
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: pair_analyze [options] [roots...]\n"
+        "\n"
+        "Token-level static analysis of the PAIR source tree. Default roots:\n"
+        "src tools bench (relative to --root).\n"
+        "\n"
+        "  --root DIR       repository root to scan (default: .)\n"
+        "  --json PATH      write findings as a pair-report JSON document\n"
+        "  --baseline PATH  known-findings report to ratchet against\n"
+        "  --check          exit 1 on findings not covered by the baseline\n"
+        "  --list-rules     print the rule catalog and exit\n"
+        "  -h, --help       this text\n";
+  return code;
+}
+
+void PrintFinding(const Finding& f) {
+  std::cout << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+            << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  std::string baseline_path;
+  bool check = false;
+  bool list_rules = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "pair_analyze: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return Usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pair_analyze: unknown option " << arg << "\n";
+      return Usage(std::cerr, 2);
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+
+  const Analyzer analyzer = Analyzer::WithDefaultRules();
+  if (list_rules) {
+    for (const auto& rule : analyzer.rules())
+      std::cout << rule->Id() << "  (" << rule->Family() << ")  "
+                << rule->Description() << '\n';
+    std::cout << "ANA-BAD-ALLOW  (ANA)  malformed PAIR_ANALYZE_ALLOW marker\n"
+                 "ANA-UNUSED-ALLOW  (ANA)  suppression that matched no "
+                 "finding\n";
+    return 0;
+  }
+
+  try {
+    const auto files = LoadSourceTree(root, roots);
+    const AnalysisResult result = analyzer.Run(files);
+
+    if (!json_path.empty()) {
+      const JsonValue report = ResultToReport(result);
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "pair_analyze: cannot write " << json_path << "\n";
+        return 2;
+      }
+      report.Write(out);
+    }
+
+    if (check) {
+      std::map<std::pair<std::string, std::string>, std::uint64_t> baseline;
+      if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path, std::ios::binary);
+        if (!in) {
+          std::cerr << "pair_analyze: cannot read baseline " << baseline_path
+                    << "\n";
+          return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        baseline = BaselineFromReport(JsonValue::Parse(buf.str()));
+      }
+      const std::vector<Finding> fresh = NewFindings(result.findings, baseline);
+      if (!fresh.empty()) {
+        std::cout << "pair_analyze: " << fresh.size()
+                  << " finding(s) not covered by the baseline:\n";
+        for (const Finding& f : fresh) PrintFinding(f);
+        std::cout << "\nFix the code, add a PAIR_ANALYZE_ALLOW(rule-id: "
+                     "reason) suppression,\nor regenerate the baseline "
+                     "(pair_analyze --json <baseline>) if intentional.\n";
+        return 1;
+      }
+      std::cout << "pair_analyze: OK — " << result.findings.size()
+                << " finding(s), all covered by the baseline ("
+                << result.files_scanned << " files, "
+                << result.functions_scanned << " functions, "
+                << result.suppressed.size() << " suppressed)\n";
+      return 0;
+    }
+
+    for (const Finding& f : result.findings) PrintFinding(f);
+    std::cout << result.findings.size() << " finding(s), "
+              << result.suppressed.size() << " suppressed, "
+              << result.files_scanned << " files, "
+              << result.functions_scanned << " functions\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pair_analyze: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -21,10 +21,15 @@
 // success; nonzero with one line per violated contract. Registered as ctest
 // cases (one per check) by tools/CMakeLists.txt.
 //
-// Usage: pair_lint [--check=gf|rs|schemes|perf|all] [--seed=N]
+// --json=PATH additionally emits the results as a telemetry pair-report
+// (tool = "pair_lint"), so lint runs flow through the same
+// `bench_diff --check` machinery that gates the bench goldens.
+//
+// Usage: pair_lint [--check=gf|rs|schemes|perf|all] [--seed=N] [--json=PATH]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -35,8 +40,10 @@
 #include "ecc/scheme.hpp"
 #include "gf/gf2m.hpp"
 #include "rs/rs_code.hpp"
+#include "telemetry/report.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace pair_ecc {
 namespace {
@@ -426,12 +433,45 @@ constexpr Check kChecks[] = {
     {"perf", CheckPerf},
 };
 
-int Run(const std::string& which, std::uint64_t seed) {
+/// Renders the per-check outcomes as a pair-report document. Everything in
+/// it is a pure function of (which, seed), so repeated runs are
+/// byte-identical and bench_diff can compare artifacts across commits.
+bool WriteJsonReport(const std::string& path, const std::string& which,
+                     std::uint64_t seed,
+                     const std::vector<std::pair<std::string, Report>>& runs) {
+  telemetry::Report report("pair_lint");
+  report.MetaString("checks", which);
+  report.MetaInt("seed", static_cast<std::int64_t>(seed));
+
+  unsigned total = 0;
+  util::Table checks({"check", "status", "failures"});
+  util::Table violations({"check", "message"});
+  for (const auto& [name, run] : runs) {
+    total += run.failures();
+    checks.AddRow({name, run.failures() == 0 ? "ok" : "fail",
+                   std::to_string(run.failures())});
+    report.counters().Add("failures_" + name, run.failures());
+    std::istringstream lines(run.text());
+    for (std::string line; std::getline(lines, line);)
+      if (!line.empty()) violations.AddRow({name, line});
+  }
+  report.counters().Add("checks_run", runs.size());
+  report.counters().Add("failures_total", total);
+  report.AddTable("checks", checks);
+  report.AddTable("violations", violations);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  report.ToJson(/*include_timing=*/false).Write(out);
+  return static_cast<bool>(out);
+}
+
+int Run(const std::string& which, std::uint64_t seed,
+        const std::string& json_path) {
   unsigned total_failures = 0;
-  bool matched = false;
+  std::vector<std::pair<std::string, Report>> runs;
   for (const auto& check : kChecks) {
     if (which != "all" && which != check.name) continue;
-    matched = true;
     Report report;
     check.fn(seed, report);
     if (report.failures() == 0) {
@@ -442,10 +482,15 @@ int Run(const std::string& which, std::uint64_t seed) {
                 << report.text() << "\n";
       total_failures += report.failures();
     }
+    runs.emplace_back(check.name, std::move(report));
   }
-  if (!matched) {
+  if (runs.empty()) {
     std::cerr << "pair_lint: unknown check '" << which
               << "' (want gf|rs|schemes|perf|all)\n";
+    return 2;
+  }
+  if (!json_path.empty() && !WriteJsonReport(json_path, which, seed, runs)) {
+    std::cerr << "pair_lint: cannot write " << json_path << "\n";
     return 2;
   }
   return total_failures == 0 ? 0 : 1;
@@ -456,11 +501,14 @@ int Run(const std::string& which, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   std::string which = "all";
+  std::string json_path;
   std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--check=", 0) == 0) {
       which = arg.substr(8);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
     } else if (arg.rfind("--seed=", 0) == 0) {
       const char* value = arg.c_str() + 7;
       char* end = nullptr;
@@ -472,12 +520,12 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: pair_lint [--check=gf|rs|schemes|perf|all] "
-                   "[--seed=N]\n";
+                   "[--seed=N] [--json=PATH]\n";
       return 2;
     }
   }
   try {
-    return pair_ecc::Run(which, seed);
+    return pair_ecc::Run(which, seed, json_path);
   } catch (const std::exception& e) {
     std::cerr << "pair_lint: uncaught contract violation: " << e.what()
               << "\n";
