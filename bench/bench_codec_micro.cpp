@@ -6,10 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
 
+#include "bench/bench_common.hpp"
 #include "core/pair_scheme.hpp"
 #include "dram/rank.hpp"
 #include "ecc/scheme.hpp"
+#include "gf/gf_batch.hpp"
 #include "hamming/hamming.hpp"
 #include "rs/rs_code.hpp"
 #include "timing/controller.hpp"
@@ -234,6 +239,238 @@ void BM_ControllerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ControllerThroughput);
 
+// ---------------------------------------------------------------- batch ----
+// Span-of-lines codec section: throughput of EncodeBatchInto /
+// SyndromesBatchInto / DecodeBatch per runnable GF kernel and batch size,
+// plus a deterministic kernel-equivalence table, emitted as a pair-report
+// ("CODEC-MICRO") for bench_diff. Throughput lands in the report's
+// "timing" section, which diffs ignore by default; the equivalence table
+// and shape meta are machine-independent and baselined.
+
+/// Fills `block` with random codewords of `code` (kernel-independent: the
+/// data is random, the parity is whatever the currently pinned kernel
+/// computes — GF arithmetic is exact, so every kernel agrees).
+void FillCodewords(const rs::RsCode& code, const rs::CodewordBlock& block,
+                   util::Xoshiro256& rng) {
+  for (unsigned i = 0; i < code.k(); ++i)
+    for (unsigned l = 0; l < block.lines; ++l)
+      block.Row(i)[l] = static_cast<gf::Elem>(rng.UniformBelow(256));
+  code.EncodeBatchInto(block);
+}
+
+/// Runs `op` until ~20ms of wall clock accumulate and returns lines/sec.
+template <typename Op>
+double MeasureLinesPerSec(unsigned lines_per_call, Op&& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm caches and scratch
+  std::uint64_t calls = 0;
+  double elapsed = 0.0;
+  const Clock::time_point t0 = Clock::now();
+  do {
+    for (int i = 0; i < 32; ++i) op();
+    calls += 32;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < 0.02);
+  return static_cast<double>(calls) * lines_per_call / elapsed;
+}
+
+/// True iff `kernel` reproduces the scalar oracle bitwise on `code` for
+/// encode, syndromes, and decode over random blocks of every batch size.
+bool KernelMatchesScalar(rs::RsCode code, const gf::BatchKernels& kernel,
+                         std::span<const unsigned> batch_sizes,
+                         util::Xoshiro256& rng) {
+  std::vector<gf::Elem> buf_a, buf_b, syn_a, syn_b;
+  rs::DecodeScratch sc_a, sc_b;
+  std::vector<rs::BatchLineResult> res_a, res_b;
+  for (unsigned lanes : batch_sizes) {
+    buf_a.assign(std::size_t{code.n()} * lanes, 0);
+    const rs::CodewordBlock a{buf_a.data(), lanes, code.n(), lanes};
+    code.UseKernelsForTest(gf::ScalarKernels());
+    FillCodewords(code, a, rng);
+    // Error mix: lane l gets l % (t+2) symbol errors (some beyond t).
+    for (unsigned l = 0; l < lanes; ++l)
+      for (unsigned e = 0; e < l % (code.t() + 2); ++e)
+        a.Row((l * 7 + e * 13) % code.n())[l] ^=
+            static_cast<gf::Elem>(1 + ((l + e) & 0xFF) % 255);
+    buf_b = buf_a;
+    const rs::CodewordBlock b{buf_b.data(), lanes, code.n(), lanes};
+
+    syn_a.resize(std::size_t{code.r()} * lanes);
+    syn_b.resize(std::size_t{code.r()} * lanes);
+    code.SyndromesBatchInto(a, syn_a);
+    res_a.resize(lanes);
+    code.DecodeBatch(a, res_a, sc_a);
+
+    code.UseKernelsForTest(kernel);
+    code.SyndromesBatchInto(b, syn_b);
+    res_b.resize(lanes);
+    code.DecodeBatch(b, res_b, sc_b);
+
+    if (syn_a != syn_b || buf_a != buf_b) return false;
+    for (unsigned l = 0; l < lanes; ++l)
+      if (res_a[l].status != res_b[l].status ||
+          res_a[l].corrected != res_b[l].corrected)
+        return false;
+  }
+  return true;
+}
+
+/// Returns false when the PAIR_ALLOC_COUNTER steady-state contract is
+/// violated (and on success records allocs_per_batch_decode = 0).
+bool RunBatchCodecSection() {
+  bench::BenchReport report("CODEC-MICRO",
+                            "batched RS codec: GF kernels and throughput");
+  const auto& field = gf::GfField::Get(8);
+  report.MetaString("selected_kernel", gf::SelectKernels(field).name);
+  std::string compiled, runnable;
+  for (const gf::BatchKernels* k : gf::CompiledKernels()) {
+    if (!compiled.empty()) compiled += ",";
+    compiled += k->name;
+    if (gf::KernelRunnable(*k)) {
+      if (!runnable.empty()) runnable += ",";
+      runnable += k->name;
+    }
+  }
+  report.MetaString("kernels_compiled", compiled);
+  report.MetaString("kernels_runnable", runnable);
+
+  constexpr unsigned kBatchSizes[] = {1, 16, 64, 256};
+
+  // Deterministic equivalence table: every runnable kernel must reproduce
+  // the scalar oracle bitwise at every code shape (kernels_ok is 1 on any
+  // machine — only runnable kernels are exercised).
+  struct Shape {
+    const char* name;
+    rs::RsCode code;
+  };
+  const Shape shapes[] = {
+      {"PAIR-2 (34,32)", rs::RsCode::Gf256(34, 32)},
+      {"PAIR-4 (68,64)", rs::RsCode::Gf256(68, 64)},
+      {"DUO (76,64)", rs::RsCode::Gf256(76, 64)},
+      {"PAIR-4 expanded (132,128)", rs::RsCode::Gf256(68, 64).Expanded(128)},
+  };
+  util::Table eq({"shape", "n", "k", "t", "batch sizes", "kernels_ok"});
+  util::Xoshiro256 rng(0xBA7C4);
+  bool all_ok = true;
+  for (const Shape& s : shapes) {
+    bool ok = true;
+    for (const gf::BatchKernels* k : gf::CompiledKernels()) {
+      if (!gf::KernelRunnable(*k)) continue;
+      ok = ok && KernelMatchesScalar(s.code, *k, kBatchSizes, rng);
+    }
+    all_ok = all_ok && ok;
+    eq.AddRowValues(s.name, s.code.n(), s.code.k(), s.code.t(),
+                    sizeof(kBatchSizes) / sizeof(kBatchSizes[0]),
+                    ok ? 1 : 0);
+  }
+  report.Emit("batch_equivalence", eq);
+
+  // Throughput: lines/sec per kernel x batch size at the PAIR-4 shape.
+  // Machine-dependent, so terminal + report "timing" section only.
+  rs::RsCode code = rs::RsCode::Gf256(68, 64);
+  util::Table thr({"kernel", "batch", "encode Mlines/s", "syndrome Mlines/s",
+                   "decode(clean) Mlines/s"});
+  double scalar_enc256 = 0.0, scalar_syn256 = 0.0;
+  double best_enc256 = 0.0, best_syn256 = 0.0;
+  for (const gf::BatchKernels* k : gf::CompiledKernels()) {
+    if (!gf::KernelRunnable(*k)) continue;
+    code.UseKernelsForTest(*k);
+    for (unsigned lanes : kBatchSizes) {
+      std::vector<gf::Elem> buf(std::size_t{code.n()} * lanes, 0);
+      const rs::CodewordBlock block{buf.data(), lanes, code.n(), lanes};
+      FillCodewords(code, block, rng);
+      std::vector<gf::Elem> syn(std::size_t{code.r()} * lanes);
+      std::vector<rs::BatchLineResult> results(lanes);
+      rs::DecodeScratch scratch;
+
+      const double enc =
+          MeasureLinesPerSec(lanes, [&] { code.EncodeBatchInto(block); });
+      // Encode left parity consistent, so syndromes/decode see codewords.
+      const double syn_lps = MeasureLinesPerSec(
+          lanes, [&] { code.SyndromesBatchInto(block, syn); });
+      const double dec = MeasureLinesPerSec(
+          lanes, [&] { code.DecodeBatch(block, results, scratch); });
+      thr.AddRowValues(k->name, lanes, util::Table::Fixed(enc / 1e6, 2),
+                       util::Table::Fixed(syn_lps / 1e6, 2),
+                       util::Table::Fixed(dec / 1e6, 2));
+      const std::string suffix =
+          std::string("_") + k->name + "_b" + std::to_string(lanes);
+      report.report().AddTiming("encode_lines_per_sec" + suffix, enc);
+      report.report().AddTiming("syndrome_lines_per_sec" + suffix, syn_lps);
+      report.report().AddTiming("decode_lines_per_sec" + suffix, dec);
+      if (lanes == 256) {
+        if (k == &gf::ScalarKernels()) {
+          scalar_enc256 = enc;
+          scalar_syn256 = syn_lps;
+        }
+        best_enc256 = std::max(best_enc256, enc);
+        best_syn256 = std::max(best_syn256, syn_lps);
+      }
+    }
+  }
+  bench::Emit(thr);
+  const double enc_speedup =
+      scalar_enc256 > 0.0 ? best_enc256 / scalar_enc256 : 0.0;
+  const double syn_speedup =
+      scalar_syn256 > 0.0 ? best_syn256 / scalar_syn256 : 0.0;
+  report.report().AddTiming("encode_speedup_best_vs_scalar_b256", enc_speedup);
+  report.report().AddTiming("syndrome_speedup_best_vs_scalar_b256",
+                            syn_speedup);
+  std::cout << "batch-256 speedup, best kernel vs scalar: encode "
+            << util::Table::Fixed(enc_speedup, 1) << "x, syndrome "
+            << util::Table::Fixed(syn_speedup, 1) << "x\n";
+
+#ifdef PAIR_ALLOC_COUNTER
+  // Steady-state allocation contract: a warm DecodeBatch over a block with
+  // a correctable lane (scalar-lane fallback + write-back included) must
+  // not touch the heap.
+  {
+    code.UseKernelsForTest(gf::SelectKernels(field));
+    constexpr unsigned lanes = 64;
+    std::vector<gf::Elem> buf(std::size_t{code.n()} * lanes, 0);
+    const rs::CodewordBlock block{buf.data(), lanes, code.n(), lanes};
+    FillCodewords(code, block, rng);
+    std::vector<rs::BatchLineResult> results(lanes);
+    rs::DecodeScratch scratch;
+    block.Row(3)[5] ^= 0x5A;  // dirty lane: warm the scalar decode scratch
+    code.DecodeBatch(block, results, scratch);
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 100; ++i) {
+      block.Row(3)[5] ^= 0x5A;
+      code.DecodeBatch(block, results, scratch);
+    }
+    const std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+    report.report().AddTiming("allocs_per_batch_decode",
+                              static_cast<double>(allocs) / 100.0);
+    if (allocs != 0) {
+      std::fprintf(stderr,
+                   "FATAL: warm DecodeBatch allocated %llu times over 100 "
+                   "calls (want 0)\n",
+                   static_cast<unsigned long long>(allocs));
+      return false;
+    }
+    std::cout << "allocs_per_batch_decode: 0 (100 warm calls)\n";
+  }
+#endif  // PAIR_ALLOC_COUNTER
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FATAL: a GF kernel diverged from the scalar oracle\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the google-benchmark suite runs
+// first (honouring --benchmark_filter etc.), then the batch codec section
+// emits its pair-report. A kernel-equivalence or allocation-contract
+// violation fails the binary.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return RunBatchCodecSection() ? 0 : 1;
+}

@@ -269,6 +269,215 @@ ecc::ReadResult PairScheme::DoReadLine(const dram::Address& addr) {
   return result;
 }
 
+void PairScheme::DoWriteLines(std::span<const dram::Address> addrs,
+                              std::span<const util::BitVec> lines) {
+  PAIR_DCHECK(addrs.size() == lines.size(), "span extents rechecked in NVI");
+  // The scrub-on-write ablation decodes every covering codeword regardless
+  // of cleanliness, so there is nothing for the batch clean-check to win.
+  if (config_.scrub_on_write) {
+    Scheme::DoWriteLines(addrs, lines);
+    return;
+  }
+  const auto& g = rank().geometry().device;
+  const unsigned pins = g.dq_pins;
+  const unsigned devices = rank().DataDevices();
+
+  for (std::size_t a = 0; a < addrs.size(); ++a) {
+    const dram::Address& addr = addrs[a];
+    const util::BitVec& line = lines[a];
+    const unsigned s0 = addr.col * subsymbols_per_col_;
+    const unsigned w0 = s0 / code_.k();
+    const unsigned w1 = (s0 + subsymbols_per_col_ - 1) / code_.k();
+    const unsigned wcount = w1 - w0 + 1;
+    const unsigned lanes = devices * pins * wcount;
+
+    // Stage every covering codeword of this line as one lane of an SoA
+    // block: lane(d, pin, w) = (d*pins + pin)*wcount + (w - w0). Snapshot
+    // order differs from the per-line path (all devices staged before any
+    // write), but devices are separate chips and within a device the
+    // (pin, w) codewords occupy disjoint bits, so the images agree.
+    block_buf_.resize(std::size_t{code_.n()} * lanes);
+    const rs::CodewordBlock block{block_buf_.data(), lanes, code_.n(), lanes};
+    for (unsigned d = 0; d < devices; ++d) {
+      const util::BitVec row_image =
+          rank().device(d).ReadBits(addr.bank, addr.row, 0, g.TotalRowBits());
+      for (unsigned pin = 0; pin < pins; ++pin) {
+        for (unsigned w = w0; w <= w1; ++w) {
+          AssembleCodewordInto(row_image, pin, w, word_);
+          const unsigned l = (d * pins + pin) * wcount + (w - w0);
+          for (unsigned i = 0; i < code_.n(); ++i) block.Row(i)[l] = word_[i];
+        }
+      }
+    }
+
+    // One vectorized syndrome sweep classifies every lane. It computes
+    // exactly the values IsCodeword derives per codeword, so the
+    // clean/dirty split — and everything downstream — is unchanged.
+    scratch_.batch_syn.resize(std::size_t{code_.r()} * lanes);
+    code_.SyndromesBatchInto(block, scratch_.batch_syn);
+
+    for (unsigned d = 0; d < devices; ++d) {
+      auto& dev = rank().device(d);
+      const util::BitVec new_col = rank().DeviceSlice(line, d);
+      for (unsigned pin = 0; pin < pins; ++pin) {
+        for (unsigned w = w0; w <= w1; ++w) {
+          const unsigned l = (d * pins + pin) * wcount + (w - w0);
+          for (unsigned i = 0; i < code_.n(); ++i) word_[i] = block.Row(i)[l];
+          bool clean = true;
+          for (unsigned j = 0; j < code_.r(); ++j)
+            clean = clean &&
+                    scratch_.batch_syn[std::size_t{j} * lanes + l] == 0;
+
+          if (clean) {
+            // Delta-parity fast path, identical to DoWriteLine.
+            parity_.assign(word_.begin() + code_.k(), word_.end());
+            bool parity_changed = false;
+            for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
+              const unsigned s = s0 + q;
+              if (s / code_.k() != w) continue;
+              Elem new_sym = 0;
+              for (unsigned j = 0; j < kSymbolBits; ++j)
+                new_sym = static_cast<Elem>(
+                    new_sym |
+                    (new_col.Get((q * kSymbolBits + j) * pins + pin) << j));
+              const unsigned pos = s % code_.k();
+              const Elem delta = word_[pos] ^ new_sym;
+              if (delta == 0) continue;
+              word_[pos] = new_sym;
+              code_.ParityDeltaInto(pos, delta, pdelta_);
+              for (unsigned j = 0; j < config_.check_symbols; ++j)
+                parity_[j] ^= pdelta_[j];
+              parity_changed = true;
+              for (unsigned j = 0; j < kSymbolBits; ++j)
+                dev.WriteBit(addr.bank, addr.row,
+                             dram::PinLineBit(g, pin, s * kSymbolBits + j),
+                             (static_cast<unsigned>(new_sym) >> j) & 1u);
+            }
+            if (parity_changed) {
+              for (unsigned j = 0; j < config_.check_symbols; ++j) {
+                util::BitVec bits(kSymbolBits);
+                bits.SetWord(0, kSymbolBits, parity_[j]);
+                dev.WriteBits(addr.bank, addr.row, ParityBitOffset(pin, w, j),
+                              bits);
+              }
+            }
+            continue;
+          }
+
+          // Slow path: decode, splice, re-encode — identical to DoWriteLine
+          // (erasures only matter here, so no fallback is needed above).
+          const auto* er = ErasuresFor({d, pin, w});
+          code_.Decode(std::span<Elem>(word_),
+                       er ? std::span<const unsigned>(*er)
+                          : std::span<const unsigned>{},
+                       scratch_);
+          for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
+            const unsigned s = s0 + q;
+            if (s / code_.k() != w) continue;
+            Elem new_sym = 0;
+            for (unsigned j = 0; j < kSymbolBits; ++j)
+              new_sym = static_cast<Elem>(
+                  new_sym |
+                  (new_col.Get((q * kSymbolBits + j) * pins + pin) << j));
+            word_[s % code_.k()] = new_sym;
+          }
+          code_.ComputeParityInto(
+              std::span<const Elem>(word_.data(), code_.k()),
+              std::span<Elem>(word_.data() + code_.k(),
+                              config_.check_symbols));
+          StoreCodeword(d, addr.bank, addr.row, pin, w, word_);
+        }
+      }
+    }
+  }
+}
+
+void PairScheme::DoReadLines(std::span<const dram::Address> addrs,
+                             std::span<ecc::ReadResult> results) {
+  PAIR_DCHECK(addrs.size() == results.size(), "span extents rechecked in NVI");
+  // DecodeBatch handles errors only; registered erasures route every read
+  // through the per-line scalar path.
+  if (!erasures_.empty()) {
+    Scheme::DoReadLines(addrs, results);
+    return;
+  }
+  const auto& g = rank().geometry().device;
+  const unsigned pins = g.dq_pins;
+  const unsigned devices = rank().DataDevices();
+
+  for (std::size_t a = 0; a < addrs.size(); ++a) {
+    const dram::Address& addr = addrs[a];
+    ecc::ReadResult& result = results[a];
+    result.claim = ecc::Claim::kClean;
+    result.corrected_units = 0;
+    result.data = util::BitVec(rank().geometry().LineBits());
+
+    const unsigned s0 = addr.col * subsymbols_per_col_;
+    const unsigned w_begin = config_.decode_full_pin_line ? 0 : s0 / code_.k();
+    const unsigned w_end = config_.decode_full_pin_line
+                               ? cw_per_pin_ - 1
+                               : (s0 + subsymbols_per_col_ - 1) / code_.k();
+    const unsigned wcount = w_end - w_begin + 1;
+    const unsigned lanes = devices * pins * wcount;
+
+    block_buf_.resize(std::size_t{code_.n()} * lanes);
+    const rs::CodewordBlock block{block_buf_.data(), lanes, code_.n(), lanes};
+    for (unsigned d = 0; d < devices; ++d) {
+      const util::BitVec row_image =
+          rank().device(d).ReadBits(addr.bank, addr.row, 0, g.TotalRowBits());
+      for (unsigned pin = 0; pin < pins; ++pin) {
+        for (unsigned w = w_begin; w <= w_end; ++w) {
+          AssembleCodewordInto(row_image, pin, w, word_);
+          const unsigned l = (d * pins + pin) * wcount + (w - w_begin);
+          for (unsigned i = 0; i < code_.n(); ++i) block.Row(i)[l] = word_[i];
+        }
+      }
+    }
+
+    line_res_.resize(lanes);
+    code_.DecodeBatch(block, line_res_, scratch_);
+
+    // Claim aggregation: the failure > corrected > clean lattice is
+    // order-independent, and corrected_units is a plain sum, so walking
+    // lanes in any order reproduces the per-line result.
+    for (unsigned l = 0; l < lanes; ++l) {
+      switch (line_res_[l].status) {
+        case rs::DecodeStatus::kNoError:
+          break;
+        case rs::DecodeStatus::kCorrected:
+          if (result.claim != ecc::Claim::kDetected)
+            result.claim = ecc::Claim::kCorrected;
+          result.corrected_units += line_res_[l].corrected;
+          break;
+        case rs::DecodeStatus::kFailure:
+          result.claim = ecc::Claim::kDetected;
+          break;
+      }
+    }
+
+    // Deliver the addressed column's symbols. DecodeBatch wrote corrected
+    // lanes back into the block and left failed lanes as received — the
+    // same contents the per-line path delivers.
+    for (unsigned d = 0; d < devices; ++d) {
+      util::BitVec col_slice(g.AccessBits());
+      for (unsigned pin = 0; pin < pins; ++pin) {
+        for (unsigned w = w_begin; w <= w_end; ++w) {
+          const unsigned l = (d * pins + pin) * wcount + (w - w_begin);
+          for (unsigned q = 0; q < subsymbols_per_col_; ++q) {
+            const unsigned s = s0 + q;
+            if (s / code_.k() != w) continue;
+            const Elem v = block.Row(s % code_.k())[l];
+            for (unsigned j = 0; j < kSymbolBits; ++j)
+              col_slice.Set((q * kSymbolBits + j) * pins + pin,
+                            (static_cast<unsigned>(v) >> j) & 1u);
+          }
+        }
+      }
+      rank().SetDeviceSlice(result.data, d, col_slice);
+    }
+  }
+}
+
 void PairScheme::DoScrubLine(const dram::Address& addr) {
   const auto& g = rank().geometry().device;
   for (unsigned d = 0; d < rank().DataDevices(); ++d) {

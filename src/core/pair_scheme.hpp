@@ -73,6 +73,17 @@ class PairScheme final : public ecc::Scheme {
                    const util::BitVec& line) override;
   ecc::ReadResult DoReadLine(const dram::Address& addr) override;
 
+  /// Batch data path: each address's dq_pins * data_devices (* codewords
+  /// per pin) codewords become lanes of one SoA block driven through the
+  /// vectorized RS batch APIs — one SyndromesBatchInto clean-check per
+  /// write, one DecodeBatch per read. Observably identical to the per-line
+  /// loops; erasure-carrying reads and the scrub-on-write ablation fall
+  /// back to them.
+  void DoWriteLines(std::span<const dram::Address> addrs,
+                    std::span<const util::BitVec> lines) override;
+  void DoReadLines(std::span<const dram::Address> addrs,
+                   std::span<ecc::ReadResult> results) override;
+
   /// In-DRAM patrol scrub of the codewords covering `addr`: decode and
   /// restore data AND check symbols (the delta-parity write path cannot
   /// clear latent errors, so PAIR scrubs below the controller).
@@ -126,6 +137,11 @@ class PairScheme final : public ecc::Scheme {
   std::vector<gf::Elem> word_;
   std::vector<gf::Elem> parity_;
   std::vector<gf::Elem> pdelta_;
+  // Batch staging: one SoA codeword block (all devices x pins x covering
+  // codewords of one address) plus per-lane decode results, reused across
+  // addresses and calls.
+  std::vector<gf::Elem> block_buf_;
+  std::vector<rs::BatchLineResult> line_res_;
 };
 
 }  // namespace pair_ecc::core

@@ -15,6 +15,7 @@
 // writes: DUO pays no internal read-modify-write, only the longer burst.
 #include <stdexcept>
 
+#include "ecc/registry.hpp"
 #include "ecc/scheme.hpp"
 #include "ecc/schemes_internal.hpp"
 #include "rs/rs_code.hpp"
@@ -135,6 +136,113 @@ class DuoScheme final : public Scheme {
     return result;
   }
 
+  // Batch write: every line's 64 data symbols become one lane of an SoA
+  // block, one EncodeBatchInto computes all parities through the GF
+  // kernels, then each lane scatters exactly as the per-line writer does.
+  // Batch encode is bitwise-equal to ComputeParityInto per lane, so the
+  // stored state is identical.
+  void DoWriteLines(std::span<const dram::Address> addrs,
+                    std::span<const util::BitVec> lines) override {
+    PAIR_DCHECK(addrs.size() == lines.size(), "span extents rechecked in NVI");
+    const auto& g = rank().geometry().device;
+    const unsigned lanes = static_cast<unsigned>(addrs.size());
+    if (lanes == 0) return;
+    block_buf_.assign(std::size_t{code_.n()} * lanes, 0);
+    const rs::CodewordBlock block{block_buf_.data(), lanes, code_.n(), lanes};
+    for (unsigned l = 0; l < lanes; ++l)
+      for (unsigned s = 0; s < code_.k(); ++s)
+        block.Row(s)[l] = static_cast<gf::Elem>(
+            lines[l].GetWord(s * kSymbolBits, kSymbolBits));
+    code_.EncodeBatchInto(block);
+
+    for (unsigned l = 0; l < lanes; ++l) {
+      const dram::Address& addr = addrs[l];
+      rank().WriteLine(addr, lines[l]);
+
+      util::BitVec sidecar(g.AccessBits());
+      for (unsigned j = 0; j < kSidecarSymbols; ++j)
+        sidecar.SetWord(j * kSymbolBits, kSymbolBits,
+                        block.Row(code_.k() + j)[l]);
+      rank().device(rank().DataDevices()).WriteColumn(addr, sidecar);
+
+      for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+        const unsigned pos = code_.k() + kSidecarSymbols + d / 2;
+        const unsigned nibble =
+            (block.Row(pos)[l] >> ((d % 2) * kSpareBitsPerDevice)) & 0xF;
+        util::BitVec bits(kSpareBitsPerDevice);
+        bits.SetWord(0, kSpareBitsPerDevice, nibble);
+        rank().device(d).WriteBits(
+            addr.bank, addr.row,
+            g.row_bits + addr.col * kSpareBitsPerDevice, bits);
+      }
+    }
+  }
+
+  // Batch read: assemble every address's 76-symbol word into a block lane,
+  // one DecodeBatch classifies/repairs all lanes, then per-lane claims and
+  // data delivery replicate the per-line reader. Erasure decoding (chip
+  // kill) stays on the per-line path — DecodeBatch is errors-only.
+  void DoReadLines(std::span<const dram::Address> addrs,
+                   std::span<ReadResult> results) override {
+    PAIR_DCHECK(addrs.size() == results.size(),
+                "span extents rechecked in NVI");
+    if (!erased_devices_.empty()) {
+      Scheme::DoReadLines(addrs, results);
+      return;
+    }
+    const auto& g = rank().geometry().device;
+    const unsigned lanes = static_cast<unsigned>(addrs.size());
+    if (lanes == 0) return;
+    block_buf_.assign(std::size_t{code_.n()} * lanes, 0);
+    const rs::CodewordBlock block{block_buf_.data(), lanes, code_.n(), lanes};
+    for (unsigned l = 0; l < lanes; ++l) {
+      const dram::Address& addr = addrs[l];
+      const util::BitVec raw = rank().ReadLine(addr);
+      for (unsigned s = 0; s < code_.k(); ++s)
+        block.Row(s)[l] = static_cast<gf::Elem>(
+            raw.GetWord(s * kSymbolBits, kSymbolBits));
+
+      const util::BitVec sidecar =
+          rank().device(rank().DataDevices()).ReadColumn(addr);
+      for (unsigned j = 0; j < kSidecarSymbols; ++j)
+        block.Row(code_.k() + j)[l] = static_cast<gf::Elem>(
+            sidecar.GetWord(j * kSymbolBits, kSymbolBits));
+
+      for (unsigned d = 0; d < rank().DataDevices(); ++d) {
+        const util::BitVec bits = rank().device(d).ReadBits(
+            addr.bank, addr.row, g.row_bits + addr.col * kSpareBitsPerDevice,
+            kSpareBitsPerDevice);
+        const unsigned pos = code_.k() + kSidecarSymbols + d / 2;
+        block.Row(pos)[l] = static_cast<gf::Elem>(
+            block.Row(pos)[l] |
+            (bits.GetWord(0, kSpareBitsPerDevice)
+             << ((d % 2) * kSpareBitsPerDevice)));
+      }
+    }
+
+    line_res_.resize(lanes);
+    code_.DecodeBatch(block, line_res_, scratch_);
+    for (unsigned l = 0; l < lanes; ++l) {
+      ReadResult& result = results[l];
+      result.claim = Claim::kClean;
+      result.corrected_units = 0;
+      switch (line_res_[l].status) {
+        case rs::DecodeStatus::kNoError:
+          break;
+        case rs::DecodeStatus::kCorrected:
+          result.claim = Claim::kCorrected;
+          result.corrected_units = line_res_[l].corrected;
+          break;
+        case rs::DecodeStatus::kFailure:
+          result.claim = Claim::kDetected;
+          break;
+      }
+      result.data = util::BitVec(rank().geometry().LineBits());
+      for (unsigned s = 0; s < code_.k(); ++s)
+        result.data.SetWord(s * kSymbolBits, kSymbolBits, block.Row(s)[l]);
+    }
+  }
+
   /// Chip-kill mode: treat every symbol of `device` as an erasure (used
   /// after a device has been diagnosed as failed). DUO's 12 check symbols
   /// cover a full 8-symbol device erasure with budget to spare — but only
@@ -158,6 +266,10 @@ class DuoScheme final : public Scheme {
   std::vector<gf::Elem> word_;
   std::vector<gf::Elem> data_;
   std::vector<gf::Elem> parity_;
+  // Batch staging: one SoA codeword block plus per-lane decode results,
+  // reused across calls.
+  std::vector<gf::Elem> block_buf_;
+  std::vector<rs::BatchLineResult> line_res_;
 };
 
 }  // namespace
@@ -165,5 +277,10 @@ class DuoScheme final : public Scheme {
 std::unique_ptr<Scheme> MakeDuo(dram::Rank& rank) {
   return std::make_unique<DuoScheme>(rank);
 }
+
+namespace {
+[[maybe_unused]] const SchemeRegistrar kDuoRegistrar{SchemeKind::kDuo,
+                                                     &MakeDuo};
+}  // namespace
 
 }  // namespace pair_ecc::ecc

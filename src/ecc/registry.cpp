@@ -1,0 +1,38 @@
+#include "ecc/registry.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace pair_ecc::ecc {
+
+Registry& Registry::Instance() {
+  // Function-local so first use (a registrar's constructor) creates it —
+  // immune to TU static-initialization order.
+  // Registrars populate it pre-main on one thread; read-only thereafter,
+  // so it is never written under the engine's worker pool.
+  // PAIR_ANALYZE_ALLOW(THR-STATIC: written only by pre-main registrars, read-only thereafter)
+  static Registry instance;
+  return instance;
+}
+
+void Registry::Register(SchemeKind kind, Factory factory) {
+  PAIR_CHECK(factory != nullptr,
+             "null factory registered for " << ToString(kind));
+  const auto it = std::lower_bound(kinds_.begin(), kinds_.end(), kind);
+  PAIR_CHECK(it == kinds_.end() || *it != kind,
+             "duplicate scheme registration for " << ToString(kind));
+  factories_.insert(factories_.begin() + (it - kinds_.begin()), factory);
+  kinds_.insert(it, kind);
+}
+
+std::unique_ptr<Scheme> Registry::Make(SchemeKind kind,
+                                       dram::Rank& rank) const {
+  const auto it = std::lower_bound(kinds_.begin(), kinds_.end(), kind);
+  PAIR_CHECK(it != kinds_.end() && *it == kind,
+             "no scheme registered for " << ToString(kind)
+                 << " (missing registrar, or its TU was linker-dropped?)");
+  return factories_[static_cast<std::size_t>(it - kinds_.begin())](rank);
+}
+
+}  // namespace pair_ecc::ecc

@@ -1,0 +1,56 @@
+// Plugin-style scheme registry: each scheme's translation unit registers
+// its own SchemeKind -> factory binding at static-initialization time via a
+// SchemeRegistrar, so adding a scheme is additive — a new TU with a
+// registrar, no edits to a central factory switch (ROADMAP item 4).
+//
+// The registry is populated before main() by the registrars and read-only
+// afterwards; AllSchemeKinds()/MakeScheme() in core/factory.cpp are thin
+// veneers over it. Registrars live in static-archive members, which the
+// linker drops unless something references a symbol in them — factory.cpp
+// keeps force-link anchors to the scheme TUs that would otherwise be
+// unreferenced.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+
+namespace pair_ecc::ecc {
+
+class Registry {
+ public:
+  using Factory = std::unique_ptr<Scheme> (*)(dram::Rank& rank);
+
+  /// The process-wide registry the registrars populate.
+  static Registry& Instance();
+
+  /// Binds `kind` to `factory`. Exactly one registration per kind (a
+  /// duplicate is a wiring bug and fails the contract check). Kept sorted
+  /// by enum value so Kinds() is declaration order, independent of TU
+  /// initialization order.
+  void Register(SchemeKind kind, Factory factory);
+
+  /// Builds the registered scheme for `kind` over `rank`.
+  std::unique_ptr<Scheme> Make(SchemeKind kind, dram::Rank& rank) const;
+
+  /// Every registered kind, in enum declaration order.
+  std::span<const SchemeKind> Kinds() const noexcept { return kinds_; }
+
+ private:
+  Registry() = default;
+
+  std::vector<SchemeKind> kinds_;   // sorted by enum value
+  std::vector<Factory> factories_;  // parallel to kinds_
+};
+
+/// Registers one scheme kind at namespace scope:
+///   const SchemeRegistrar kReg{SchemeKind::kDuo, &MakeDuo};
+struct SchemeRegistrar {
+  SchemeRegistrar(SchemeKind kind, Registry::Factory factory) {
+    Registry::Instance().Register(kind, factory);
+  }
+};
+
+}  // namespace pair_ecc::ecc

@@ -20,6 +20,7 @@
 
 #include "dram/rank.hpp"
 #include "util/bitvec.hpp"
+#include "util/contract.hpp"
 
 namespace pair_ecc::ecc {
 
@@ -129,6 +130,40 @@ class Scheme {
     return result;
   }
 
+  // Batch data path. Semantically identical to calling the per-line
+  // wrappers once per address, in order — same stored state, same results,
+  // same counter totals — but schemes with a batch codec (PAIR, DUO, IECC)
+  // override the Do*Lines virtuals to stage many codewords through
+  // rs::DecodeBatch / EncodeBatchInto and the vectorized GF kernels.
+
+  /// Writes lines[i] to addrs[i] for every i, in order.
+  void WriteLines(std::span<const dram::Address> addrs,
+                  std::span<const util::BitVec> lines) {
+    PAIR_CHECK(addrs.size() == lines.size(),
+               "WriteLines got " << addrs.size() << " addresses but "
+                                 << lines.size() << " lines");
+    counters_.writes += addrs.size();
+    DoWriteLines(addrs, lines);
+  }
+
+  /// Reads and decodes addrs[i] into results[i] for every i, in order.
+  void ReadLines(std::span<const dram::Address> addrs,
+                 std::span<ReadResult> results) {
+    PAIR_CHECK(addrs.size() == results.size(),
+               "ReadLines got " << addrs.size() << " addresses but "
+                                << results.size() << " result slots");
+    DoReadLines(addrs, results);
+    counters_.decodes += addrs.size();
+    for (const ReadResult& result : results) {
+      switch (result.claim) {
+        case Claim::kClean:     ++counters_.claim_clean; break;
+        case Claim::kCorrected: ++counters_.claim_corrected; break;
+        case Claim::kDetected:  ++counters_.claim_detected; break;
+      }
+      counters_.corrected_units += result.corrected_units;
+    }
+  }
+
   /// Patrol-scrubs one line: repairs whatever is repairable and restores
   /// clean stored state for transient damage (stuck cells stay stuck).
   void ScrubLine(const dram::Address& addr) {
@@ -182,6 +217,14 @@ class Scheme {
   /// spans many columns, so per-column scrubbing would decode each one
   /// repeatedly).
   virtual void DoScrubRowFull(unsigned bank, unsigned row);
+
+  /// Batch defaults: loop the per-line virtuals. Overrides must be
+  /// observably identical to this loop (the WriteLines/ReadLines wrappers
+  /// already account the counters, assuming exactly that equivalence).
+  virtual void DoWriteLines(std::span<const dram::Address> addrs,
+                            std::span<const util::BitVec> lines);
+  virtual void DoReadLines(std::span<const dram::Address> addrs,
+                           std::span<ReadResult> results);
 
   /// Default: unsupported.
   virtual bool DoMarkDeviceErased(unsigned device);

@@ -13,6 +13,9 @@ WorkingSet MakeWorkingSet(const dram::RankGeometry& geometry,
   ws.cols.reserve(lines_per_row);
   for (unsigned j = 0; j < lines_per_row; ++j)
     ws.cols.push_back(j * g.ColumnsPerRow() / lines_per_row);
+  ws.addrs.reserve(std::size_t{working_rows} * lines_per_row);
+  for (const auto& r : ws.rows)
+    for (unsigned col : ws.cols) ws.addrs.push_back({r.bank, r.row, col});
   return ws;
 }
 
@@ -20,14 +23,10 @@ TrialContext::TrialContext(const dram::RankGeometry& geometry,
                            ecc::SchemeKind kind, const WorkingSet& ws,
                            util::Xoshiro256& rng)
     : rank(geometry), scheme(ecc::MakeScheme(kind, rank)) {
-  truth.reserve(ws.rows.size() * ws.cols.size());
-  for (const auto& r : ws.rows) {
-    for (unsigned col : ws.cols) {
-      const dram::Address addr{r.bank, r.row, col};
-      truth.emplace_back(addr, util::BitVec::Random(geometry.LineBits(), rng));
-      scheme->WriteLine(addr, truth.back().second);
-    }
-  }
+  lines.reserve(ws.addrs.size());
+  for (std::size_t i = 0; i < ws.addrs.size(); ++i)
+    lines.push_back(util::BitVec::Random(geometry.LineBits(), rng));
+  scheme->WriteLines(ws.addrs, lines);
 }
 
 }  // namespace pair_ecc::reliability

@@ -112,6 +112,26 @@ class TrialEngine {
   template <typename Result, typename Body>
   Result Run(std::uint64_t seed, std::uint64_t trials, Body&& body,
              EngineMetrics* metrics = nullptr) const {
+    struct None {};
+    return RunWithScratch<Result, None>(
+        seed, trials,
+        [&body](std::uint64_t trial, util::Xoshiro256& rng, Result& acc,
+                None&) { body(trial, rng, acc); },
+        metrics);
+  }
+
+  /// Like Run, but hands the body a per-shard Scratch (default-constructed
+  /// at shard start) as a fourth argument:
+  ///   body(trial_index, rng, accumulator, scratch)
+  /// Scratch exists so trial bodies can reuse staging buffers (e.g. the
+  /// span-of-lines ReadLines result vector) across a shard's trials
+  /// without per-trial allocation. It is worker-local carry-over state and
+  /// MUST NOT influence results: each trial must fully overwrite whatever
+  /// it reads from it. The determinism contract is unchanged — scratch is
+  /// per-shard, and shard composition is a function of (trials) alone.
+  template <typename Result, typename Scratch, typename Body>
+  Result RunWithScratch(std::uint64_t seed, std::uint64_t trials, Body&& body,
+                        EngineMetrics* metrics = nullptr) const {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point run_start = Clock::now();
 
@@ -132,9 +152,10 @@ class TrialEngine {
           metrics != nullptr ? Clock::now() : Clock::time_point{};
       const std::uint64_t begin = shard * kShardTrials;
       const std::uint64_t end = std::min(begin + kShardTrials, trials);
+      Scratch scratch{};
       for (std::uint64_t trial = begin; trial < end; ++trial) {
         util::Xoshiro256 rng(trial_seeds[trial]);
-        body(trial, rng, shard_results[shard]);
+        body(trial, rng, shard_results[shard], scratch);
       }
       if (metrics != nullptr)
         shard_seconds[shard] =
@@ -189,6 +210,11 @@ class TrialEngine {
 struct WorkingSet {
   std::vector<faults::RowRef> rows;
   std::vector<unsigned> cols;
+  /// The grid flattened row-major (rows x cols): addrs[i*cols.size() + j]
+  /// = {rows[i].bank, rows[i].row, cols[j]}. This is the span handed to
+  /// the schemes' batch WriteLines/ReadLines entry points; TrialContext
+  /// ground-truth lines are indexed in parallel.
+  std::vector<dram::Address> addrs;
 };
 
 WorkingSet MakeWorkingSet(const dram::RankGeometry& geometry,
@@ -196,14 +222,16 @@ WorkingSet MakeWorkingSet(const dram::RankGeometry& geometry,
                           unsigned row_mul, unsigned row_off);
 
 /// Per-trial state: a fresh rank, the scheme under test built over it, and
-/// the ground-truth working-set contents (written through the scheme, in
-/// row-major working-set order, drawing one random line per cell from
-/// `rng`). Shared by the single-shot Monte-Carlo and the lifetime engine —
-/// the two previously duplicated this setup loop.
+/// the ground-truth working-set contents — lines[i] is the line written at
+/// ws.addrs[i]. All random lines are drawn first (one per cell, row-major —
+/// the identical RNG draw sequence as the historical draw/write interleave,
+/// since writes consume no randomness) and then written through one batch
+/// scheme->WriteLines call. Shared by the single-shot Monte-Carlo and the
+/// lifetime engine — the two previously duplicated this setup loop.
 struct TrialContext {
   dram::Rank rank;
   std::unique_ptr<ecc::Scheme> scheme;
-  std::vector<std::pair<dram::Address, util::BitVec>> truth;
+  std::vector<util::BitVec> lines;
 
   TrialContext(const dram::RankGeometry& geometry, ecc::SchemeKind kind,
                const WorkingSet& ws, util::Xoshiro256& rng);

@@ -46,6 +46,13 @@ struct LifetimeAccum {
   }
 };
 
+/// Per-shard staging for the batch demand-read path (see ScenarioScratch
+/// in monte_carlo.cpp): reused across trials and epochs, fully overwritten
+/// by every ReadLines call.
+struct LifetimeScratch {
+  std::vector<ecc::ReadResult> results;
+};
+
 }  // namespace
 
 LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials,
@@ -57,10 +64,10 @@ LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials,
                      /*row_mul=*/41, /*row_off=*/3);
 
   const TrialEngine engine(config.threads);
-  LifetimeAccum accum = engine.Run<LifetimeAccum>(
+  LifetimeAccum accum = engine.RunWithScratch<LifetimeAccum, LifetimeScratch>(
       config.seed, trials,
       [&config, &ws, &g](std::uint64_t /*trial*/, util::Xoshiro256& rng,
-                         LifetimeAccum& acc) {
+                         LifetimeAccum& acc, LifetimeScratch& scratch) {
         TrialContext ctx(config.geometry, config.scheme, ws, rng);
         faults::Injector injector(ctx.rank, ws.rows);
 
@@ -71,10 +78,15 @@ LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials,
           for (unsigned f = 0; f < arrivals; ++f)
             injector.InjectFromMix(config.mix, rng);
 
-          // Demand reads.
-          for (const auto& [addr, line] : ctx.truth) {
-            const auto read = ctx.scheme->ReadLine(addr);
-            const Outcome outcome = Classify(read.claim, read.data, line);
+          // Demand reads: one batch over the working set per epoch (the
+          // per-line loop had no early exit, so batching reads the same
+          // lines); classification walks results in address order.
+          scratch.results.resize(ws.addrs.size());
+          ctx.scheme->ReadLines(ws.addrs, scratch.results);
+          for (std::size_t i = 0; i < ws.addrs.size(); ++i) {
+            const ecc::ReadResult& read = scratch.results[i];
+            const Outcome outcome =
+                Classify(read.claim, read.data, ctx.lines[i]);
             acc.tel.corrected_units.Record(read.corrected_units);
             acc.stats.total_corrections += outcome == Outcome::kCorrected;
             if (IsSdc(outcome) && !saw_sdc) {
@@ -106,8 +118,8 @@ LifetimeStats RunLifetime(const LifetimeConfig& config, unsigned trials,
                  ++col) {
               const dram::Address addr{r.bank, r.row, col};
               const util::BitVec* expect = &zero_line;
-              for (const auto& [taddr, tline] : ctx.truth)
-                if (taddr == addr) expect = &tline;
+              for (std::size_t i = 0; i < ws.addrs.size(); ++i)
+                if (ws.addrs[i] == addr) expect = &ctx.lines[i];
               const auto read = ctx.scheme->ReadLine(addr);
               const Outcome outcome = Classify(read.claim, read.data, *expect);
               acc.tel.corrected_units.Record(read.corrected_units);

@@ -20,7 +20,6 @@ RsCode::RsCode(const GfField& field, unsigned n, unsigned k)
   }
 
   // Parity footprint of each data symbol: x^(n-1-i) mod g(x).
-  monomial_rem_.reserve(k_);
   // Computed iteratively: rem(x^(r)) first, then multiply by x and reduce.
   // Data index k-1 is degree r, index 0 is degree n-1.
   std::vector<Poly> by_degree(k_);
@@ -34,7 +33,24 @@ RsCode::RsCode(const GfField& field, unsigned n, unsigned k)
     by_degree[k_ - 1 - d] = cur;
   }
   for (auto& p : by_degree) p.resize(r(), 0);
-  monomial_rem_ = std::move(by_degree);
+
+  // Flatten into codeword order (parity slot j <-> footprint degree r-1-j)
+  // and prepare the batch-kernel tables for every fixed constant this code
+  // will ever multiply by: the k*r parity footprints and the r syndrome
+  // Horner constants alpha^(j+1). One-time cost, so the batch hot loops
+  // start multiplying immediately.
+  foot_rev_.resize(std::size_t{k_} * r());
+  foot_tables_.reserve(foot_rev_.size());
+  for (unsigned i = 0; i < k_; ++i)
+    for (unsigned j = 0; j < r(); ++j) {
+      const Elem c = by_degree[i][r() - 1 - j];
+      foot_rev_[std::size_t{i} * r() + j] = c;
+      foot_tables_.push_back(gf::MakeMulTables(field_, c));
+    }
+  syn_tables_.reserve(r());
+  for (unsigned j = 0; j < r(); ++j)
+    syn_tables_.push_back(gf::MakeMulTables(field_, field_.AlphaPow(j + 1)));
+  kernels_ = &gf::SelectKernels(field_);
 }
 
 void RsCode::ComputeParityInto(std::span<const Elem> data,
@@ -45,15 +61,15 @@ void RsCode::ComputeParityInto(std::span<const Elem> data,
                                        << " symbols, expected " << r());
   // parity(x) = (data(x) * x^r) mod g(x). Accumulate via the precomputed
   // monomial remainders: linear in the number of nonzero data symbols.
-  // Codeword index k + j holds the coefficient of x^(r-1-j), so the
-  // remainder is accumulated directly into the reversed output slots.
+  // foot_rev_ already stores each footprint in codeword order, so the
+  // accumulation is a contiguous span op (the per-line shape of the batch
+  // path's mul_add_into).
   std::fill(parity.begin(), parity.end(), Elem{0});
   for (unsigned i = 0; i < k_; ++i) {
     const Elem d = data[i];
     if (d == 0) continue;
-    const Poly& foot = monomial_rem_[i];
-    for (unsigned j = 0; j < r(); ++j)
-      parity[r() - 1 - j] ^= field_.Mul(d, foot[j]);
+    const Elem* foot = &foot_rev_[std::size_t{i} * r()];
+    for (unsigned j = 0; j < r(); ++j) parity[j] ^= field_.Mul(d, foot[j]);
   }
 }
 
@@ -67,8 +83,11 @@ std::vector<Elem> RsCode::ComputeParity(std::span<const Elem> data) const {
 void RsCode::EncodeInto(std::span<const Elem> data, std::span<Elem> out) const {
   PAIR_CHECK(out.size() == n_, "EncodeInto output holds " << out.size()
                                    << " symbols, expected " << n_);
-  ComputeParityInto(data, out.subspan(k_));
+  PAIR_CHECK(data.size() == k_, "EncodeInto expects " << k_
+                                    << " data symbols, got " << data.size());
+  // Batch of one: a contiguous codeword is a CodewordBlock with one lane.
   std::copy(data.begin(), data.end(), out.begin());
+  EncodeBatchInto(CodewordBlock{out.data(), 1, n_, 1});
 }
 
 // PAIR_ANALYZE_ALLOW(CON-SPAN: delegates to EncodeInto, which checks)
@@ -88,9 +107,8 @@ void RsCode::ParityDeltaInto(unsigned data_index, Elem delta,
     std::fill(out.begin(), out.end(), Elem{0});
     return;
   }
-  const Poly& foot = monomial_rem_[data_index];
-  for (unsigned j = 0; j < r(); ++j)
-    out[j] = field_.Mul(delta, foot[r() - 1 - j]);
+  const Elem* foot = &foot_rev_[std::size_t{data_index} * r()];
+  for (unsigned j = 0; j < r(); ++j) out[j] = field_.Mul(delta, foot[j]);
 }
 
 std::vector<Elem> RsCode::ParityDelta(unsigned data_index, Elem delta) const {
@@ -103,22 +121,126 @@ void RsCode::SyndromesInto(std::span<const Elem> word,
                            std::span<Elem> out) const {
   PAIR_DCHECK(word.size() == n_, "syndrome input length " << word.size()
                                      << " != n = " << n_);
-  PAIR_DCHECK(out.size() == r(), "syndrome output length " << out.size()
-                                     << " != r = " << r());
+  // Batch of one; with out of size r the batch layout out[j * lines + l]
+  // degenerates to out[j]. Syndrome computation never writes the word, so
+  // the const_cast into the (span-like, non-owning) block view is safe.
+  SyndromesBatchInto(
+      CodewordBlock{const_cast<Elem*>(word.data()), 1, n_, 1}, out);
+}
+
+void RsCode::EncodeBatchInto(const CodewordBlock& block) const {
+  PAIR_CHECK(block.n == n_, "EncodeBatchInto block has n = " << block.n
+                                << ", expected " << n_);
+  PAIR_CHECK(block.lines >= 1 && block.stride >= block.lines,
+             "EncodeBatchInto block with " << block.lines
+                 << " lines needs stride >= lines, got " << block.stride);
+  const unsigned rr = r();
+  const unsigned lines = block.lines;
+  for (unsigned j = 0; j < rr; ++j)
+    std::fill(block.Row(k_ + j), block.Row(k_ + j) + lines, Elem{0});
+  // Accumulate each data row's parity footprint: parity row k+j gains
+  // foot_rev_[i*r+j] * data row i. Zero data lanes contribute zero, so the
+  // result matches the per-line encoder's nonzero-symbol walk bitwise.
+  if (lines >= kernels_->min_lanes && kernels_ != &gf::ScalarKernels()) {
+    for (unsigned i = 0; i < k_; ++i) {
+      const Elem* src = block.Row(i);
+      for (unsigned j = 0; j < rr; ++j) {
+        const gf::MulTables& t = foot_tables_[std::size_t{i} * rr + j];
+        if (t.c == 0) continue;
+        kernels_->mul_add_into(t, src, block.Row(k_ + j), lines);
+      }
+    }
+    return;
+  }
+  for (unsigned i = 0; i < k_; ++i) {
+    const Elem* src = block.Row(i);
+    for (unsigned j = 0; j < rr; ++j) {
+      const Elem c = foot_rev_[std::size_t{i} * rr + j];
+      if (c == 0) continue;
+      Elem* dst = block.Row(k_ + j);
+      for (unsigned l = 0; l < lines; ++l) dst[l] ^= field_.Mul(c, src[l]);
+    }
+  }
+}
+
+void RsCode::SyndromesBatchInto(const CodewordBlock& block,
+                                std::span<Elem> out) const {
+  PAIR_DCHECK(block.n == n_, "SyndromesBatchInto block has n = " << block.n
+                                 << ", expected " << n_);
+  PAIR_DCHECK(block.lines >= 1 && block.stride >= block.lines,
+              "SyndromesBatchInto block with " << block.lines
+                  << " lines needs stride >= lines, got " << block.stride);
+  PAIR_DCHECK(out.size() == std::size_t{r()} * block.lines,
+              "syndrome output length " << out.size() << " != r * lines = "
+                                        << std::size_t{r()} * block.lines);
   // Out-of-field symbols would index past the log tables in the Mul/Add
   // below; every decode path funnels through here, so guard once (the loop
   // is empty in release builds where PAIR_DCHECK compiles out).
   for (unsigned i = 0; i < n_; ++i)
-    PAIR_DCHECK(word[i] < field_.Size(), "received symbol " << i << " = "
-                                             << word[i] << " outside GF(2^"
-                                             << field_.m() << ")");
+    for (unsigned l = 0; l < block.lines; ++l)
+      PAIR_DCHECK(block.Row(i)[l] < field_.Size(),
+                  "received symbol (" << i << ", lane " << l << ") = "
+                                      << block.Row(i)[l] << " outside GF(2^"
+                                      << field_.m() << ")");
   // S_j = c(alpha^(j+1)); with codeword index i at degree n-1-i, evaluate by
-  // Horner over the word as written (highest degree first).
-  for (unsigned j = 0; j < r(); ++j) {
+  // Horner over the positions as written (highest degree first), all lanes
+  // in lock-step: acc = alpha^(j+1) * acc XOR row.
+  const unsigned rr = r();
+  const unsigned lines = block.lines;
+  if (lines >= kernels_->min_lanes && kernels_ != &gf::ScalarKernels()) {
+    for (unsigned j = 0; j < rr; ++j) {
+      Elem* acc = out.data() + std::size_t{j} * lines;
+      std::fill(acc, acc + lines, Elem{0});
+      for (unsigned i = 0; i < n_; ++i)
+        kernels_->syndrome_accumulate(syn_tables_[j], block.Row(i), acc,
+                                      lines);
+    }
+    return;
+  }
+  for (unsigned j = 0; j < rr; ++j) {
     const Elem a = field_.AlphaPow(j + 1);
-    Elem acc = 0;
-    for (unsigned i = 0; i < n_; ++i) acc = field_.Add(field_.Mul(acc, a), word[i]);
-    out[j] = acc;
+    Elem* acc = out.data() + std::size_t{j} * lines;
+    std::fill(acc, acc + lines, Elem{0});
+    for (unsigned i = 0; i < n_; ++i) {
+      const Elem* row = block.Row(i);
+      for (unsigned l = 0; l < lines; ++l)
+        acc[l] = field_.Add(field_.Mul(acc[l], a), row[l]);
+    }
+  }
+}
+
+void RsCode::DecodeBatch(const CodewordBlock& block,
+                         std::span<BatchLineResult> results,
+                         DecodeScratch& sc) const {
+  PAIR_CHECK(block.n == n_, "DecodeBatch block has n = " << block.n
+                                << ", expected " << n_);
+  PAIR_CHECK(results.size() == block.lines,
+             "DecodeBatch results span holds " << results.size()
+                 << " entries, expected " << block.lines);
+  const unsigned rr = r();
+  const unsigned lines = block.lines;
+  sc.batch_syn.resize(std::size_t{rr} * lines);
+  SyndromesBatchInto(block, sc.batch_syn);
+  sc.lane.resize(n_);
+  for (unsigned l = 0; l < lines; ++l) {
+    bool clean = true;
+    for (unsigned j = 0; j < rr; ++j)
+      clean = clean && sc.batch_syn[std::size_t{j} * lines + l] == 0;
+    if (clean) {
+      // Exactly the per-line kNoError classification: all syndromes zero.
+      results[l] = {DecodeStatus::kNoError, 0};
+      continue;
+    }
+    // Dirty lane: gather it and run the scalar errors-only decoder (which
+    // recomputes these syndromes — exact arithmetic, identical values).
+    for (unsigned i = 0; i < n_; ++i) sc.lane[i] = block.Row(i)[l];
+    const DecodeStatus status = Decode(std::span<Elem>(sc.lane), {}, sc);
+    results[l].status = status;
+    results[l].corrected =
+        status == DecodeStatus::kCorrected ? sc.NumCorrected() : 0;
+    // kFailure leaves the block lane as received, like per-line Decode.
+    if (status == DecodeStatus::kCorrected)
+      for (unsigned i = 0; i < n_; ++i) block.Row(i)[l] = sc.lane[i];
   }
 }
 

@@ -17,11 +17,13 @@
 // consecutive root alpha^1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "gf/gf2m.hpp"
+#include "gf/gf_batch.hpp"
 #include "rs/poly.hpp"
 
 namespace pair_ecc::rs {
@@ -36,6 +38,34 @@ enum class DecodeStatus : std::uint8_t {
 struct Correction {
   unsigned position;  // codeword index
   Elem magnitude;     // value XOR-ed into that symbol
+};
+
+/// Structure-of-arrays view of `lines` codewords of the same (n, k) code:
+/// symbol position `pos` of lane `l` lives at data[pos * stride + l], so one
+/// codeword *position* across all lanes is a contiguous span — exactly the
+/// shape the gf::BatchKernels span ops consume. stride >= lines leaves room
+/// for padding lanes. A block with lines == 1 and stride == 1 is bit-for-bit
+/// the plain contiguous codeword the per-line API has always used, which is
+/// how the per-line entry points delegate to the batch ones.
+///
+/// Non-owning, like std::span: the caller provides lines * n (through
+/// stride) symbols of backing storage.
+struct CodewordBlock {
+  Elem* data = nullptr;
+  unsigned lines = 0;   // lane count
+  unsigned n = 0;       // symbols per codeword
+  unsigned stride = 0;  // lane pitch between consecutive positions
+
+  /// The `lines` lanes of symbol position `pos`, contiguous.
+  Elem* Row(unsigned pos) const noexcept {
+    return data + std::size_t{pos} * stride;
+  }
+};
+
+/// Per-lane outcome of DecodeBatch.
+struct BatchLineResult {
+  DecodeStatus status = DecodeStatus::kNoError;
+  unsigned corrected = 0;  // symbols repaired; 0 unless kCorrected
 };
 
 struct DecodeResult {
@@ -64,6 +94,9 @@ struct DecodeScratch {
   Poly gamma, lambda, b_poly, adj, prev, s_poly, omega, lambda_prime;
   std::vector<unsigned> err_pos;
   std::vector<Elem> err_xinv;
+  // DecodeBatch workspace: r * lines block syndromes plus one staged lane.
+  std::vector<Elem> batch_syn;
+  std::vector<Elem> lane;
 
   unsigned NumCorrected() const noexcept {
     return static_cast<unsigned>(corrections.size());
@@ -148,6 +181,39 @@ class RsCode {
   DecodeStatus Decode(std::span<Elem> word, std::span<const unsigned> erasures,
                       DecodeScratch& scratch) const;
 
+  /// Batch systematic encode over an SoA block (block.n == n): positions
+  /// [0, k) hold the data lanes on entry, positions [k, n) receive the
+  /// parity lanes. Bitwise-identical to EncodeInto lane by lane, for every
+  /// kernel (GF arithmetic is exact).
+  void EncodeBatchInto(const CodewordBlock& block) const;
+
+  /// Batch syndromes: writes syndrome j of lane l to out[j * lines + l]
+  /// (out.size() == r * lines). Lane l's column equals SyndromesInto of
+  /// that lane's codeword.
+  void SyndromesBatchInto(const CodewordBlock& block,
+                          std::span<Elem> out) const;
+
+  /// Batch decode-in-place: batch syndromes classify clean lanes (the
+  /// overwhelmingly common case — one kernel sweep, no per-lane work), then
+  /// each dirty lane runs the scalar errors-only decoder. kCorrected lanes
+  /// are repaired in the block; kFailure lanes are left as received.
+  /// results.size() == block.lines. Erasure decoding stays per-line
+  /// (callers with erasures use Decode).
+  void DecodeBatch(const CodewordBlock& block,
+                   std::span<BatchLineResult> results,
+                   DecodeScratch& scratch) const;
+
+  /// The batch-kernel set this code dispatches to (chosen at construction
+  /// from CPU features and PAIR_GF_KERNEL; spans shorter than
+  /// kernels().min_lanes take the scalar loop regardless).
+  const gf::BatchKernels& kernels() const noexcept { return *kernels_; }
+
+  /// Test hook: re-point dispatch (e.g. the differential kernel test).
+  /// Prepared constant tables are kernel-agnostic, so this is always safe.
+  void UseKernelsForTest(const gf::BatchKernels& kernels) noexcept {
+    kernels_ = &kernels;
+  }
+
   /// Generator polynomial (ascending degree), degree r.
   const Poly& Generator() const noexcept { return generator_; }
 
@@ -158,9 +224,17 @@ class RsCode {
   unsigned n_;
   unsigned k_;
   Poly generator_;
-  // monomial_rem_[i] = x^(n-1-i) mod g(x), the parity footprint of data
-  // symbol i; kept as r coefficients (ascending degree).
-  std::vector<Poly> monomial_rem_;
+  // Parity footprints, flattened in codeword order: foot_rev_[i * r + j] is
+  // the coefficient of x^(r-1-j) of x^(n-1-i) mod g(x), i.e. the amount
+  // parity slot j moves when data symbol i changes by 1. The reversed
+  // layout makes per-line parity/delta loops contiguous.
+  std::vector<Elem> foot_rev_;
+  // Prepared multiplier tables for the batch kernels, same indexing as
+  // foot_rev_ (foot_tables_[i * r + j].c == foot_rev_[i * r + j]).
+  std::vector<gf::MulTables> foot_tables_;
+  // syn_tables_[j] prepares alpha^(j+1), the Horner constant of syndrome j.
+  std::vector<gf::MulTables> syn_tables_;
+  const gf::BatchKernels* kernels_;
 };
 
 }  // namespace pair_ecc::rs

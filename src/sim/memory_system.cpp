@@ -98,7 +98,7 @@ std::size_t MemorySystem::SlotOf(const dram::Address& addr) const noexcept {
                             (static_cast<std::uint64_t>(addr.row) << 21) ^
                             static_cast<std::uint64_t>(addr.col);
   return static_cast<std::size_t>(util::SplitMix64::Mix(key) %
-                                  ctx_.truth.size());
+                                  ctx_.lines.size());
 }
 
 std::uint64_t MemorySystem::NextFaultGap(util::Xoshiro256& rng) const {
@@ -185,7 +185,8 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
       case EventKind::kDemand: {
         const timing::Request& req = demand_[e.payload];
         const std::size_t slot = SlotOf(req.addr);
-        const auto& [addr, truth_line] = ctx_.truth[slot];
+        const dram::Address& addr = ws_.addrs[slot];
+        const util::BitVec& truth_line = ctx_.lines[slot];
         if (req.op == timing::Op::kRead) {
           const ecc::ReadResult read = ctx_.scheme->ReadLine(addr);
           const reliability::Outcome outcome =

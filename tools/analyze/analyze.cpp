@@ -896,7 +896,17 @@ AnalyzerConfig AnalyzerConfig::Default() {
       "Decode",        "IsCodeword", "SyndromesInto", "EncodeInto",
       "ComputeParityInto", "ParityDeltaInto", "Eval", "Normalize",
       "Degree",        "AddInPlace", "Mul",  "Div", "Inv", "Add",
-      "AlphaPow",      "Log"};
+      "AlphaPow",      "Log",
+      // Batch codec data path: the RS span-of-lines entry points and the
+      // per-kernel GF batch primitives (scalar oracle + each vectorized
+      // variant) are as hot as the per-line codec they feed.
+      "EncodeBatchInto",          "SyndromesBatchInto",
+      "ScalarMulInto",            "ScalarMulAddInto",
+      "ScalarSyndromeAccumulate", "PclmulMulInto",
+      "PclmulMulAddInto",         "PclmulSyndromeAccumulate",
+      "Avx2MulInto",              "Avx2MulAddInto",
+      "Avx2SyndromeAccumulate",   "GfniMulInto",
+      "GfniMulAddInto",           "GfniSyndromeAccumulate"};
   c.hot_banned_calls = {"Encode", "ComputeParity", "ParityDelta", "Syndromes"};
   c.contract_prefixes = {"src/"};
   return c;
