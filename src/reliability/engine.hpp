@@ -30,7 +30,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -39,6 +41,7 @@
 #include "ecc/scheme.hpp"
 #include "faults/injector.hpp"
 #include "util/bitvec.hpp"
+#include "util/contract.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
@@ -85,6 +88,14 @@ class TrialEngine {
   /// reduction grouping — and therefore the merged result — is identical
   /// for any parallelism.
   static constexpr std::uint64_t kShardTrials = 16;
+
+  /// Shards covering `trials` (the last may be partial). This is THE shard
+  /// arithmetic: checkpoints, slice bounds, and report meta all derive from
+  /// it, so a campaign resumed or split across processes agrees with the
+  /// uninterrupted run on shard composition.
+  static constexpr std::uint64_t ShardCount(std::uint64_t trials) noexcept {
+    return (trials + kShardTrials - 1) / kShardTrials;
+  }
 
   /// `threads` == 0 selects std::thread::hardware_concurrency().
   explicit TrialEngine(unsigned threads = 0)
@@ -196,6 +207,111 @@ class TrialEngine {
       metrics->shard_seconds = std::move(shard_seconds);
     }
     return total;
+  }
+
+  /// Resumable, shard-granular variant for the campaign runner: runs shards
+  /// [first_shard, end_shard) of the `trials`-trial campaign seeded with
+  /// `seed`, handing each completed shard's Result to
+  ///   observer(shard_index, result)
+  /// strictly in shard order (an internal reorder buffer holds
+  /// out-of-order completions from parallel workers). Because the observer
+  /// applies `+=` in the same serial shard order Run's reduce uses, an
+  /// accumulator fed by any split of [0, ShardCount) across calls —
+  /// checkpointed, resumed, or merged across processes — is bitwise
+  /// identical to the uninterrupted Run at the same (seed, trials), for any
+  /// thread count.
+  ///
+  /// `stop` (optional) requests graceful interruption: it is polled before
+  /// each shard claim, in-flight shards always finish and are observed, and
+  /// the claimed range stays dense — no observed shard is ever discarded.
+  /// Returns one past the last observed shard (== end_shard when the range
+  /// completed). The observer runs with an internal lock held and must not
+  /// call back into the engine.
+  template <typename Result, typename Scratch, typename Body,
+            typename Observer>
+  std::uint64_t RunShardsObserved(std::uint64_t seed, std::uint64_t trials,
+                                  std::uint64_t first_shard,
+                                  std::uint64_t end_shard, Body&& body,
+                                  Observer&& observer,
+                                  const std::atomic<bool>* stop =
+                                      nullptr) const {
+    const std::uint64_t total_shards = ShardCount(trials);
+    PAIR_CHECK(first_shard <= end_shard && end_shard <= total_shards,
+               "RunShardsObserved: shard range [" << first_shard << ", "
+                   << end_shard << ") outside [0, " << total_shards << ")");
+    // Both bounds clamp to `trials`: with a partial last shard,
+    // first_shard == total_shards starts past the trial count, and the
+    // unclamped difference would underflow.
+    const std::uint64_t first_trial =
+        std::min(first_shard * kShardTrials, trials);
+    const std::uint64_t last_trial =
+        std::min(end_shard * kShardTrials, trials);
+
+    // The master stream is positioned by drawing (not storing) the
+    // sub-seeds of every earlier trial — trial i's stream is a pure
+    // function of (seed, i), which is why a checkpoint needs no RNG state
+    // beyond the next shard index.
+    util::Xoshiro256 master(seed);
+    for (std::uint64_t t = 0; t < first_trial; ++t) master();
+    std::vector<std::uint64_t> trial_seeds(last_trial - first_trial);
+    for (auto& s : trial_seeds) s = master();
+
+    auto run_shard = [&](std::uint64_t shard, Result& result,
+                         Scratch& scratch) {
+      const std::uint64_t begin = shard * kShardTrials;
+      const std::uint64_t end = std::min(begin + kShardTrials, trials);
+      for (std::uint64_t trial = begin; trial < end; ++trial) {
+        util::Xoshiro256 rng(trial_seeds[trial - first_trial]);
+        body(trial, rng, result, scratch);
+      }
+    };
+    const auto stopped = [stop] {
+      return stop != nullptr && stop->load(std::memory_order_relaxed);
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads_, end_shard - first_shard));
+    if (workers <= 1) {
+      std::uint64_t shard = first_shard;
+      for (; shard < end_shard && !stopped(); ++shard) {
+        Result result{};
+        Scratch scratch{};
+        run_shard(shard, result, scratch);
+        observer(shard, result);
+      }
+      return shard;
+    }
+
+    // Parallel: a dense claim counter plus a shard-ordered reorder buffer.
+    // Claims stop advancing once `stop` is observed; every claimed shard
+    // still completes, so the flushed prefix is exactly [first, next_claim).
+    std::atomic<std::uint64_t> next_claim{first_shard};
+    std::mutex mu;
+    std::map<std::uint64_t, Result> pending;
+    std::uint64_t next_observe = first_shard;
+    auto worker = [&] {
+      for (;;) {
+        if (stopped()) return;
+        const std::uint64_t shard =
+            next_claim.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= end_shard) return;
+        Result result{};
+        Scratch scratch{};
+        run_shard(shard, result, scratch);
+        std::lock_guard<std::mutex> lock(mu);
+        pending.emplace(shard, std::move(result));
+        while (!pending.empty() && pending.begin()->first == next_observe) {
+          observer(next_observe, pending.begin()->second);
+          pending.erase(pending.begin());
+          ++next_observe;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    return next_observe;
   }
 
  private:

@@ -3,39 +3,13 @@
 #include <cmath>
 #include <utility>
 
-#include "dram/rank.hpp"
-#include "faults/injector.hpp"
+#include "reliability/campaign.hpp"
 #include "reliability/engine.hpp"
 #include "reliability/telemetry.hpp"
 #include "util/contract.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
-
-namespace {
-
-/// Shard accumulator: the headline counts plus the per-trial telemetry,
-/// merged together in shard order so both honour the same determinism
-/// contract.
-struct ScenarioAccum {
-  OutcomeCounts counts;
-  TrialTelemetry tel;
-
-  ScenarioAccum& operator+=(const ScenarioAccum& other) {
-    counts += other.counts;
-    tel += other.tel;
-    return *this;
-  }
-};
-
-/// Per-shard staging for the batch demand-read path: the ReadLines result
-/// vector is reused across a shard's trials (every trial overwrites every
-/// slot), so the steady state allocates nothing per trial.
-struct ScenarioScratch {
-  std::vector<ecc::ReadResult> results;
-};
-
-}  // namespace
 
 std::string ToString(Outcome outcome) {
   switch (outcome) {
@@ -76,47 +50,17 @@ OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& other) noexcept {
 OutcomeCounts RunMonteCarlo(const ScenarioConfig& config, unsigned trials,
                             ScenarioTelemetry* telemetry) {
   config.geometry.Validate();
-  const WorkingSet ws =
-      MakeWorkingSet(config.geometry, config.working_rows, config.lines_per_row,
-                     /*row_mul=*/37, /*row_off=*/11);
+  const WorkingSet ws = MakeScenarioWorkingSet(config);
 
   const TrialEngine engine(config.threads);
-  ScenarioAccum accum = engine.RunWithScratch<ScenarioAccum, ScenarioScratch>(
-      config.seed, trials,
-      [&config, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
-                     ScenarioAccum& acc, ScenarioScratch& scratch) {
-        OutcomeCounts& counts = acc.counts;
-        TrialContext ctx(config.geometry, config.scheme, ws, rng);
-
-        faults::Injector injector(ctx.rank, ws.rows);
-        for (unsigned f = 0; f < config.faults_per_trial; ++f)
-          injector.InjectFromMix(config.mix, rng);
-
-        // One batch demand read over the whole working set; classification
-        // walks the results in address order, matching the per-line loop.
-        scratch.results.resize(ws.addrs.size());
-        ctx.scheme->ReadLines(ws.addrs, scratch.results);
-        bool any_sdc = false, any_due = false;
-        for (std::size_t i = 0; i < ws.addrs.size(); ++i) {
-          const ecc::ReadResult& read = scratch.results[i];
-          const Outcome outcome = Classify(read.claim, read.data, ctx.lines[i]);
-          counts.Add(outcome);
-          acc.tel.corrected_units.Record(read.corrected_units);
-          any_sdc |= IsSdc(outcome);
-          any_due |= outcome == Outcome::kDue;
-        }
-        ++counts.trials;
-        counts.trials_with_sdc += any_sdc;
-        counts.trials_with_due += any_due;
-        counts.trials_with_failure += (any_sdc || any_due);
-
-        // Harvest the trial's codec and injection counters. Pure reads of
-        // already-accumulated state: no RNG draws, no extra DRAM traffic,
-        // so the outcome counts match the uninstrumented run bitwise.
-        acc.tel.codec += ctx.scheme->counters();
-        acc.tel.injection += injector.counters();
-      },
-      telemetry != nullptr ? &telemetry->engine : nullptr);
+  ScenarioShardState accum =
+      engine.RunWithScratch<ScenarioShardState, ScenarioScratch>(
+          config.seed, trials,
+          [&config, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
+                         ScenarioShardState& acc, ScenarioScratch& scratch) {
+            RunScenarioTrial(config, ws, rng, acc, scratch);
+          },
+          telemetry != nullptr ? &telemetry->engine : nullptr);
 
   if (telemetry != nullptr) telemetry->trial = std::move(accum.tel);
   return accum.counts;

@@ -43,25 +43,13 @@ void AddEngineTiming(telemetry::Report& report, const EngineMetrics& engine) {
 namespace {
 
 std::int64_t ShardCount(std::uint64_t trials) {
-  return static_cast<std::int64_t>(
-      (trials + TrialEngine::kShardTrials - 1) / TrialEngine::kShardTrials);
+  return static_cast<std::int64_t>(TrialEngine::ShardCount(trials));
 }
 
 }  // namespace
 
-telemetry::Report BuildScenarioReport(const ScenarioConfig& config,
-                                      unsigned trials,
-                                      const OutcomeCounts& counts,
-                                      const ScenarioTelemetry& telemetry) {
-  telemetry::Report report("pairsim-reliability");
-  report.MetaString("scheme", ecc::ToString(config.scheme));
-  report.MetaInt("seed", static_cast<std::int64_t>(config.seed));
-  report.MetaInt("trials", trials);
-  report.MetaInt("shards", ShardCount(trials));
-  report.MetaInt("faults_per_trial", config.faults_per_trial);
-  report.MetaInt("working_rows", config.working_rows);
-  report.MetaInt("lines_per_row", config.lines_per_row);
-
+void AddScenarioCounters(telemetry::Report& report,
+                         const OutcomeCounts& counts) {
   auto& c = report.counters();
   c.Set("trials", counts.trials);
   c.Set("reads", counts.reads);
@@ -77,7 +65,22 @@ telemetry::Report BuildScenarioReport(const ScenarioConfig& config,
   report.AddMetric("trial_sdc_rate", counts.TrialSdcRate());
   report.AddMetric("trial_due_rate", counts.TrialDueRate());
   report.AddMetric("trial_failure_rate", counts.TrialFailureRate());
+}
 
+telemetry::Report BuildScenarioReport(const ScenarioConfig& config,
+                                      unsigned trials,
+                                      const OutcomeCounts& counts,
+                                      const ScenarioTelemetry& telemetry) {
+  telemetry::Report report("pairsim-reliability");
+  report.MetaString("scheme", ecc::ToString(config.scheme));
+  report.MetaInt("seed", static_cast<std::int64_t>(config.seed));
+  report.MetaInt("trials", trials);
+  report.MetaInt("shards", ShardCount(trials));
+  report.MetaInt("faults_per_trial", config.faults_per_trial);
+  report.MetaInt("working_rows", config.working_rows);
+  report.MetaInt("lines_per_row", config.lines_per_row);
+
+  AddScenarioCounters(report, counts);
   AddTrialTelemetry(report, telemetry.trial);
   AddEngineTiming(report, telemetry.engine);
   return report;

@@ -63,6 +63,12 @@ struct ScenarioTelemetry {
 /// counters.faults.* entries and the corrected_units histogram.
 void AddTrialTelemetry(telemetry::Report& report, const TrialTelemetry& trial);
 
+/// Adds the headline scenario counters (trials, reads, outcome.*) and the
+/// derived per-trial rate metrics. Shared by the single-shot scenario
+/// report and the campaign merge report so both emit identical sections.
+void AddScenarioCounters(telemetry::Report& report,
+                         const OutcomeCounts& counts);
+
 /// Adds `engine` wall-clock observations to the report's timing section
 /// (trials_per_sec, shard stats, imbalance).
 void AddEngineTiming(telemetry::Report& report, const EngineMetrics& engine);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "reliability/outcome.hpp"
+#include "sim/campaign.hpp"
 #include "util/contract.hpp"
 #include "util/rng.hpp"
 
@@ -19,8 +20,7 @@ constexpr std::uint64_t kDrainMarginCycles = 20000;
 
 std::int64_t ShardCount(std::uint64_t trials) {
   return static_cast<std::int64_t>(
-      (trials + reliability::TrialEngine::kShardTrials - 1) /
-      reliability::TrialEngine::kShardTrials);
+      reliability::TrialEngine::ShardCount(trials));
 }
 
 }  // namespace
@@ -53,6 +53,7 @@ SystemStats& SystemStats::operator+=(const SystemStats& other) {
   sdc_undetected += other.sdc_undetected;
   trials_with_sdc += other.trials_with_sdc;
   trials_with_due += other.trials_with_due;
+  trials_with_failure += other.trials_with_failure;
   first_sdc_cycle_sum += other.first_sdc_cycle_sum;
   faults_injected += other.faults_injected;
   scrub_steps += other.scrub_steps;
@@ -280,6 +281,7 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
   ++stats.trials;
   stats.trials_with_sdc += saw_sdc ? 1 : 0;
   stats.trials_with_due += saw_due ? 1 : 0;
+  stats.trials_with_failure += (saw_sdc || saw_due) ? 1 : 0;
   stats.first_sdc_cycle_sum += first_sdc_cycle;
   stats.repair += repair_.counters();
 
@@ -306,32 +308,70 @@ SystemStats RunSystemCampaign(const SystemConfig& config,
                "demand trace must be sorted by arrival (request " << i << ")");
   }
 
-  const reliability::WorkingSet ws = reliability::MakeWorkingSet(
-      config.geometry, config.working_rows, config.lines_per_row,
-      /*row_mul=*/37, /*row_off=*/5);
-
-  struct CampaignAccum {
-    SystemStats stats;
-    reliability::TrialTelemetry tel;
-
-    CampaignAccum& operator+=(const CampaignAccum& other) {
-      stats += other.stats;
-      tel += other.tel;
-      return *this;
-    }
-  };
+  const reliability::WorkingSet ws = MakeSystemWorkingSet(config);
 
   const reliability::TrialEngine engine(config.threads);
-  CampaignAccum accum = engine.Run<CampaignAccum>(
+  SystemShardState accum = engine.Run<SystemShardState>(
       config.seed, trials,
       [&config, &ws, &demand](std::uint64_t /*trial*/, util::Xoshiro256& rng,
-                              CampaignAccum& acc) {
+                              SystemShardState& acc) {
         MemorySystem system(config, ws, demand, rng);
         system.Run(acc.stats, acc.tel);
       },
       telemetry != nullptr ? &telemetry->engine : nullptr);
   if (telemetry != nullptr) telemetry->trial = std::move(accum.tel);
   return accum.stats;
+}
+
+void AddSystemStats(telemetry::Report& report, const SystemStats& stats,
+                    double tck_ns) {
+  auto& c = report.counters();
+  c.Set("system.trials", stats.trials);
+  c.Set("system.demand.reads", stats.demand_reads);
+  c.Set("system.demand.writes", stats.demand_writes);
+  c.Set("system.outcome.no_error", stats.no_error);
+  c.Set("system.outcome.corrected", stats.corrected);
+  c.Set("system.outcome.due", stats.due);
+  c.Set("system.outcome.sdc_miscorrected", stats.sdc_miscorrected);
+  c.Set("system.outcome.sdc_undetected", stats.sdc_undetected);
+  c.Set("system.trials_with_sdc", stats.trials_with_sdc);
+  c.Set("system.trials_with_due", stats.trials_with_due);
+  c.Set("system.trials_with_failure", stats.trials_with_failure);
+  c.Set("system.first_sdc_cycle_sum", stats.first_sdc_cycle_sum);
+  c.Set("system.faults_injected", stats.faults_injected);
+  c.Set("system.scrub.steps", stats.scrub_steps);
+  c.Set("system.scrub.rows", stats.scrub_rows_scrubbed);
+  c.Set("system.scrub.demand_writebacks", stats.demand_writebacks);
+  c.Set("system.repair.attempted", stats.repair.repairs_attempted);
+  c.Set("system.repair.symbols_marked", stats.repair.symbols_marked);
+  c.Set("system.repair.rows_spared", stats.repair.rows_spared);
+  c.Set("system.repair.sparing_exhausted", stats.repair.sparing_exhausted);
+  c.Set("system.repair.lines_lost", stats.repair.lines_lost);
+  c.Set("system.repair.generic_row_scrubs", stats.repair.generic_row_scrubs);
+  c.Set("system.bus.reads", stats.bus_reads);
+  c.Set("system.bus.writes", stats.bus_writes);
+  c.Set("system.bus.row_hits", stats.row_hits);
+  c.Set("system.bus.row_misses", stats.row_misses);
+  c.Set("system.bus.row_conflicts", stats.row_conflicts);
+  c.Set("system.bus.refreshes", stats.refreshes);
+  c.Set("system.sim_cycles", stats.sim_cycles);
+  c.Set("system.read_latency_sum", stats.read_latency_sum);
+  c.Set("system.protocol_violations", stats.protocol_violations);
+
+  report.AddMetric("system.sdc_probability", stats.SdcProbability());
+  report.AddMetric("system.due_probability", stats.DueProbability());
+  report.AddMetric("system.avg_read_latency_cycles", stats.AvgReadLatency());
+  report.AddMetric("system.bytes_per_cycle", stats.BytesPerCycle());
+  report.AddMetric("system.bandwidth_gbps", stats.BytesPerCycle() / tck_ns);
+  report.AddMetric("system.avg_cycles_per_trial", stats.AvgCyclesPerTrial());
+  report.AddMetric(
+      "system.mean_first_sdc_cycle",
+      stats.trials ? static_cast<double>(stats.first_sdc_cycle_sum) /
+                         static_cast<double>(stats.trials)
+                   : 0.0);
+
+  if (!stats.read_latency.counts().empty())
+    report.AddHistogram("system.read_latency_cycles", stats.read_latency);
 }
 
 telemetry::Report BuildSystemReport(
@@ -358,54 +398,7 @@ telemetry::Report BuildSystemReport(
   report.MetaInt("working_rows", config.working_rows);
   report.MetaInt("lines_per_row", config.lines_per_row);
 
-  auto& c = report.counters();
-  c.Set("system.trials", stats.trials);
-  c.Set("system.demand.reads", stats.demand_reads);
-  c.Set("system.demand.writes", stats.demand_writes);
-  c.Set("system.outcome.no_error", stats.no_error);
-  c.Set("system.outcome.corrected", stats.corrected);
-  c.Set("system.outcome.due", stats.due);
-  c.Set("system.outcome.sdc_miscorrected", stats.sdc_miscorrected);
-  c.Set("system.outcome.sdc_undetected", stats.sdc_undetected);
-  c.Set("system.trials_with_sdc", stats.trials_with_sdc);
-  c.Set("system.trials_with_due", stats.trials_with_due);
-  c.Set("system.first_sdc_cycle_sum", stats.first_sdc_cycle_sum);
-  c.Set("system.faults_injected", stats.faults_injected);
-  c.Set("system.scrub.steps", stats.scrub_steps);
-  c.Set("system.scrub.rows", stats.scrub_rows_scrubbed);
-  c.Set("system.scrub.demand_writebacks", stats.demand_writebacks);
-  c.Set("system.repair.attempted", stats.repair.repairs_attempted);
-  c.Set("system.repair.symbols_marked", stats.repair.symbols_marked);
-  c.Set("system.repair.rows_spared", stats.repair.rows_spared);
-  c.Set("system.repair.sparing_exhausted", stats.repair.sparing_exhausted);
-  c.Set("system.repair.lines_lost", stats.repair.lines_lost);
-  c.Set("system.repair.generic_row_scrubs", stats.repair.generic_row_scrubs);
-  c.Set("system.bus.reads", stats.bus_reads);
-  c.Set("system.bus.writes", stats.bus_writes);
-  c.Set("system.bus.row_hits", stats.row_hits);
-  c.Set("system.bus.row_misses", stats.row_misses);
-  c.Set("system.bus.row_conflicts", stats.row_conflicts);
-  c.Set("system.bus.refreshes", stats.refreshes);
-  c.Set("system.sim_cycles", stats.sim_cycles);
-  c.Set("system.read_latency_sum", stats.read_latency_sum);
-  c.Set("system.protocol_violations", stats.protocol_violations);
-
-  report.AddMetric("system.sdc_probability", stats.SdcProbability());
-  report.AddMetric("system.due_probability", stats.DueProbability());
-  report.AddMetric("system.avg_read_latency_cycles", stats.AvgReadLatency());
-  report.AddMetric("system.bytes_per_cycle", stats.BytesPerCycle());
-  report.AddMetric("system.bandwidth_gbps",
-                   stats.BytesPerCycle() / config.timing.tck_ns);
-  report.AddMetric("system.avg_cycles_per_trial", stats.AvgCyclesPerTrial());
-  report.AddMetric(
-      "system.mean_first_sdc_cycle",
-      stats.trials ? static_cast<double>(stats.first_sdc_cycle_sum) /
-                         static_cast<double>(stats.trials)
-                   : 0.0);
-
-  if (!stats.read_latency.counts().empty())
-    report.AddHistogram("system.read_latency_cycles", stats.read_latency);
-
+  AddSystemStats(report, stats, config.timing.tck_ns);
   reliability::AddTrialTelemetry(report, telemetry.trial);
   reliability::AddEngineTiming(report, telemetry.engine);
   return report;

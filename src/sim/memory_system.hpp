@@ -94,6 +94,8 @@ struct SystemStats {
   std::uint64_t sdc_undetected = 0;
   std::uint64_t trials_with_sdc = 0;
   std::uint64_t trials_with_due = 0;
+  /// Trials with any SDC or DUE — the fleet-projection failure event.
+  std::uint64_t trials_with_failure = 0;
   /// Sum over trials of the first-SDC cycle (horizon when the trial stayed
   /// silent-corruption-free) — mean_first_sdc_cycle in the report.
   std::uint64_t first_sdc_cycle_sum = 0;
@@ -200,6 +202,13 @@ class MemorySystem {
 SystemStats RunSystemCampaign(const SystemConfig& config,
                               const timing::Trace& demand, unsigned trials,
                               reliability::ScenarioTelemetry* telemetry = nullptr);
+
+/// Adds the `system.*` counter/metric/histogram section for `stats`.
+/// `tck_ns` converts bytes-per-cycle into bandwidth_gbps. Shared by the
+/// single-shot system report and the campaign merge report so both emit
+/// identical sections.
+void AddSystemStats(telemetry::Report& report, const SystemStats& stats,
+                    double tck_ns);
 
 /// Builds the "pairsim-system" pair-report: meta from the config, the
 /// `system.*` counter/metric/histogram section from `stats`, codec/fault

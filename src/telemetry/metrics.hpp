@@ -75,6 +75,18 @@ class Histogram {
   explicit Histogram(std::vector<std::uint64_t> upper_bounds)
       : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
 
+  /// Reconstructs a histogram from its serialized parts (checkpoint
+  /// resume). `counts` must be empty or sized bounds.size() + 1; `sum` is
+  /// trusted — it cannot be recomputed from bucketed counts.
+  static Histogram FromParts(std::vector<std::uint64_t> bounds,
+                             std::vector<std::uint64_t> counts,
+                             std::uint64_t sum) {
+    Histogram h(std::move(bounds));
+    if (!counts.empty()) h.counts_ = std::move(counts);
+    h.sum_ = sum;
+    return h;
+  }
+
   /// Convenience: one bucket per value in [0, max], plus overflow.
   static Histogram UpTo(std::uint64_t max) {
     std::vector<std::uint64_t> bounds(static_cast<std::size_t>(max) + 1);

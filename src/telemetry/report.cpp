@@ -1,6 +1,6 @@
 #include "telemetry/report.hpp"
 
-#include <fstream>
+#include "util/atomic_file.hpp"
 
 namespace pair_ecc::telemetry {
 
@@ -68,10 +68,12 @@ JsonValue Report::ToJson(bool include_timing) const {
 }
 
 bool WriteReportFile(const Report& report, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  report.ToJson(/*include_timing=*/true).Write(out);
-  return out.good();
+  try {
+    util::AtomicWriteFile(path, report.ToJson(/*include_timing=*/true).Dump());
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace pair_ecc::telemetry

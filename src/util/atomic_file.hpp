@@ -1,0 +1,136 @@
+// Durable, atomic file replacement + the CRC the checkpoint layer seals
+// its payloads with.
+//
+// Campaign checkpoints (telemetry/checkpoint.hpp) must survive a SIGKILL at
+// any instant: a reader may observe the old file or the new file, never a
+// torn mix of the two. AtomicWriteFile provides that guarantee the classic
+// POSIX way — write the full content to a sibling temp file, fsync it, then
+// rename(2) over the destination (rename within one filesystem is atomic).
+// The temp name embeds the pid so two processes racing on the same
+// destination (mistakenly — shards own distinct checkpoint paths) cannot
+// corrupt each other's staging file; a temp file orphaned by a kill is
+// ignored by readers and overwritten by the next attempt.
+//
+// Crc32 is the IEEE 802.3 reflected-polynomial CRC-32 (the zlib/PNG one,
+// check value Crc32("123456789") == 0xCBF43926). The checkpoint envelope
+// stores it over the serialized body so torn/bit-flipped files are detected
+// on read rather than silently poisoning a merged campaign.
+//
+// Header-only on purpose: pair_util is an INTERFACE library.
+#pragma once
+
+#include <array>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#if defined(_WIN32)
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace pair_ecc::util {
+
+/// IEEE CRC-32 (reflected polynomial 0xEDB88320), as used by zlib/PNG.
+inline std::uint32_t Crc32(std::string_view data) noexcept {
+  static constexpr std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data)
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Crc32 rendered as fixed-width lowercase hex ("cbf43926") — the form the
+/// checkpoint envelope stores and compares.
+inline std::string Crc32Hex(std::string_view data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::uint32_t crc = Crc32(data);
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i)
+    out[static_cast<std::size_t>(i)] =
+        kDigits[(crc >> (28 - 4 * i)) & 0xFu];
+  return out;
+}
+
+/// Atomically replaces `path` with `content`: writes `path`.tmp.<pid> in
+/// the same directory, fsyncs it, and renames it over the destination, so
+/// a crash at any instant leaves either the previous file or the complete
+/// new one. Throws std::runtime_error with the failing step and errno text.
+inline void AtomicWriteFile(const std::string& path,
+                            std::string_view content) {
+#if defined(_WIN32)
+  // Fallback for non-POSIX hosts: no fsync, but still staged + renamed.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("AtomicWriteFile: cannot create " + tmp);
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool flushed = std::fclose(f) == 0 && written == content.size();
+  if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("AtomicWriteFile: cannot replace " + path);
+  }
+#else
+  const auto fail = [](const std::string& what) {
+    throw std::runtime_error("AtomicWriteFile: " + what + ": " +
+                             std::strerror(errno));
+  };
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create " + tmp);
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      fail("cannot write " + tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The content must be durable before the rename makes it visible;
+  // otherwise a crash could expose a named-but-empty checkpoint.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot sync " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot rename " + tmp + " over " + path);
+  }
+  // Durability of the rename itself (directory entry) — best effort: a
+  // failure here cannot tear the file, only delay its visibility.
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
+}
+
+}  // namespace pair_ecc::util

@@ -30,6 +30,8 @@ AnalyzerConfig FixtureConfig() {
   config.hot_function_names = {"Decode"};
   config.hot_banned_calls = {"Syndromes"};
   config.contract_prefixes = {"src/"};
+  config.atomic_write_prefixes = {"src/", "tools/"};
+  config.atomic_write_exempt = {"src/util/atomic_file.hpp"};
   return config;
 }
 
@@ -295,6 +297,49 @@ TEST(AnalyzeCon, SuppressionDischarges) {
       "src/util/x.cpp",
       "// PAIR_ANALYZE_ALLOW(CON-SPAN: delegates to SumInto, which checks)\n"
       "int Sum(std::span<const int> xs) { return SumInto(xs); }\n");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.suppressed.size(), 1u);
+}
+
+TEST(AnalyzeCon, OfstreamOnJsonPathFires) {
+  const auto result = RunOn(
+      "tools/report_writer.cpp",
+      "void WriteReport(const std::string& json_path) {\n"
+      "  std::ofstream out(json_path, std::ios::binary);\n"
+      "  out << \"{}\";\n}\n");
+  EXPECT_EQ(RuleIds(result), (std::vector<std::string>{"CON-ATOMIC"}));
+}
+
+TEST(AnalyzeCon, OfstreamWithoutJsonContextDoesNotFire) {
+  // A plain-text trace writer is allowed to stream directly.
+  const auto result = RunOn(
+      "src/util/trace_io.cpp",
+      "void WriteTraceFile(const std::string& path) {\n"
+      "  std::ofstream os(path);\n  os << \"# trace\\n\";\n}\n");
+  EXPECT_EQ(RuleIds(result), std::vector<std::string>{});
+}
+
+TEST(AnalyzeCon, AtomicWriterItselfIsExempt) {
+  const auto result = RunOn(
+      "src/util/atomic_file.hpp",
+      "void AtomicWriteFile(const std::string& json_path) {\n"
+      "  std::ofstream out(json_path);\n}\n");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(AnalyzeCon, AtomicRuleScopedToConfiguredPrefixes) {
+  const auto result = RunOn(
+      "examples/demo.cpp",
+      "void Demo() { std::ofstream out(json_path); }\n");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(AnalyzeCon, AtomicSuppressionDischarges) {
+  const auto result = RunOn(
+      "tools/report_writer.cpp",
+      "void WriteReport(const std::string& json_path) {\n"
+      "  // PAIR_ANALYZE_ALLOW(CON-ATOMIC: streams to a pipe, not a file)\n"
+      "  std::ofstream out(json_path);\n}\n");
   EXPECT_TRUE(result.findings.empty());
   EXPECT_EQ(result.suppressed.size(), 1u);
 }

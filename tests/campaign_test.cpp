@@ -1,0 +1,443 @@
+// Crash-safe campaign runner: checkpoint envelope validation, exact
+// accumulator round-trips, split/resume bitwise determinism, and the
+// cross-process slice merge — the in-process half of the kill-and-resume
+// contract (tests/campaign_cli_test.cpp exercises the real-signal half
+// against the pairsim binary).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reliability/campaign.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "reliability/telemetry.hpp"
+#include "sim/campaign.hpp"
+#include "sim/memory_system.hpp"
+#include "telemetry/checkpoint.hpp"
+#include "telemetry/json.hpp"
+#include "util/atomic_file.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using pair_ecc::reliability::ScenarioConfig;
+using pair_ecc::reliability::ScenarioScratch;
+using pair_ecc::reliability::ScenarioShardState;
+using pair_ecc::reliability::TrialEngine;
+using pair_ecc::telemetry::JsonValue;
+using namespace pair_ecc;
+
+/// Fresh per-test path: removes any leftover from a previous run, since a
+/// stale complete checkpoint would make RunCampaign resume-and-no-op.
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "pair_campaign_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+ScenarioConfig SmallScenario(unsigned threads = 2) {
+  ScenarioConfig cfg;
+  cfg.scheme = ecc::SchemeKind::kPair4;
+  cfg.faults_per_trial = 2;
+  cfg.seed = 11;
+  cfg.threads = threads;
+  return cfg;
+}
+
+JsonValue ScenarioFingerprint(const ScenarioConfig& cfg, unsigned trials) {
+  JsonValue fp = JsonValue::MakeObject();
+  fp.Set("mode", JsonValue("reliability"));
+  fp.Set("scheme", JsonValue("pair4"));
+  fp.Set("faults_per_trial", JsonValue(cfg.faults_per_trial));
+  fp.Set("seed", JsonValue(cfg.seed));
+  fp.Set("trials", JsonValue(trials));
+  return fp;
+}
+
+sim::CampaignSpec ScenarioSpec(const ScenarioConfig& cfg, unsigned trials,
+                               const std::string& checkpoint_path,
+                               sim::ShardSlice slice = {}) {
+  sim::CampaignSpec spec;
+  spec.mode = sim::CampaignMode::kReliability;
+  spec.scenario = cfg;
+  spec.trials = trials;
+  spec.slice = slice;
+  spec.checkpoint_every = 1;
+  spec.checkpoint_path = checkpoint_path;
+  spec.fingerprint = ScenarioFingerprint(cfg, trials);
+  return spec;
+}
+
+// ------------------------------------------------------------- envelope
+
+TEST(Checkpoint, SealOpenRoundTrip) {
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("next_shard", JsonValue(std::uint64_t{7}));
+  body.Set("label", JsonValue("slice"));
+  const JsonValue sealed = telemetry::SealCheckpoint(body);
+  const JsonValue reopened = telemetry::OpenCheckpoint(sealed, "test");
+  EXPECT_EQ(reopened.Dump(), body.Dump());
+}
+
+TEST(Checkpoint, WriteReadFileRoundTrip) {
+  const std::string path = TempPath("roundtrip.json");
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("value", JsonValue(std::uint64_t{42}));
+  telemetry::WriteCheckpointFile(body, path);
+  EXPECT_EQ(telemetry::ReadCheckpointFile(path).Dump(), body.Dump());
+}
+
+/// Satellite (c): every corruption class is rejected with its own
+/// diagnostic, so truncation, bit rot, and version skew are tellable apart
+/// from the error text alone.
+TEST(Checkpoint, CorruptionTable) {
+  const std::string path = TempPath("corrupt.json");
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("seed", JsonValue(std::uint64_t{11}));
+  body.Set("next_shard", JsonValue(std::uint64_t{3}));
+  telemetry::WriteCheckpointFile(body, path);
+  const std::string good = ReadAll(path);
+
+  struct Case {
+    const char* name;
+    std::function<std::string(std::string)> mutate;
+    const char* expect;  // distinct substring of the diagnostic
+  };
+  const std::vector<Case> cases = {
+      {"truncated",
+       [](std::string text) { return text.substr(0, text.size() / 2); },
+       "malformed JSON"},
+      {"flipped body byte",
+       [](std::string text) {
+         // Change the checkpointed seed 11 -> 91: still valid JSON, but the
+         // body no longer matches the sealed CRC.
+         const auto at = text.find("11");
+         EXPECT_NE(at, std::string::npos);
+         text[at] = '9';
+         return text;
+       },
+       "checksum mismatch"},
+      {"wrong schema",
+       [](std::string text) {
+         const auto at = text.find("pair-checkpoint");
+         EXPECT_NE(at, std::string::npos);
+         return text.replace(at, 15, "not-anything-we-know");
+       },
+       "not a pair-checkpoint document"},
+      {"unsupported version",
+       [](std::string text) {
+         const auto key = text.find("schema_version");
+         EXPECT_NE(key, std::string::npos);
+         const auto digit = text.find_first_of("0123456789", key);
+         text[digit] = '9';
+         return text;
+       },
+       "unsupported schema_version"},
+  };
+  for (const Case& c : cases) {
+    util::AtomicWriteFile(path, c.mutate(good));
+    try {
+      telemetry::ReadCheckpointFile(path);
+      FAIL() << c.name << ": corrupt checkpoint was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << c.name << " produced: " << e.what();
+    }
+  }
+
+  EXPECT_THROW(telemetry::ReadCheckpointFile(TempPath("missing.json")),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- accumulator round-trip
+
+ScenarioShardState RunScenarioState(const ScenarioConfig& cfg,
+                                    unsigned trials) {
+  const reliability::WorkingSet ws =
+      reliability::MakeScenarioWorkingSet(cfg);
+  const TrialEngine engine(cfg.threads);
+  return engine.RunWithScratch<ScenarioShardState, ScenarioScratch>(
+      cfg.seed, trials,
+      [&](std::uint64_t, util::Xoshiro256& rng, ScenarioShardState& acc,
+          ScenarioScratch& scratch) {
+        RunScenarioTrial(cfg, ws, rng, acc, scratch);
+      });
+}
+
+TEST(CampaignState, ScenarioJsonRoundTripIsExact) {
+  const ScenarioShardState state = RunScenarioState(SmallScenario(), 48);
+  ASSERT_GT(state.counts.reads, 0u);
+  const ScenarioShardState back =
+      reliability::ScenarioStateFromJson(reliability::ScenarioStateToJson(state));
+  EXPECT_EQ(back, state);
+}
+
+TEST(CampaignState, SystemJsonRoundTripIsExact) {
+  sim::SystemConfig cfg;
+  cfg.seed = 5;
+  cfg.threads = 2;
+  workload::WorkloadConfig wl;
+  wl.num_requests = 60;
+  wl.intensity = 0.05;
+  wl.seed = cfg.seed;
+  const timing::Trace demand = workload::Generate(wl);
+  const reliability::WorkingSet ws = sim::MakeSystemWorkingSet(cfg);
+
+  const TrialEngine engine(cfg.threads);
+  const sim::SystemShardState state =
+      engine.Run<sim::SystemShardState>(
+          cfg.seed, 12,
+          [&](std::uint64_t, util::Xoshiro256& rng,
+              sim::SystemShardState& acc) {
+            sim::MemorySystem(cfg, ws, demand, rng).Run(acc.stats, acc.tel);
+          });
+  ASSERT_GT(state.stats.demand_reads, 0u);
+  const sim::SystemShardState back =
+      sim::SystemStateFromJson(sim::SystemStateToJson(state));
+  EXPECT_EQ(back, state);
+}
+
+// ------------------------------------------------ split/resume determinism
+
+TEST(RunShardsObserved, AnySplitIsBitwiseIdenticalToRun) {
+  const ScenarioConfig cfg = SmallScenario(/*threads=*/3);
+  const unsigned trials = 70;  // 5 shards, last one partial
+  const std::uint64_t shards = TrialEngine::ShardCount(trials);
+  const ScenarioShardState whole = RunScenarioState(cfg, trials);
+  const reliability::WorkingSet ws =
+      reliability::MakeScenarioWorkingSet(cfg);
+
+  for (std::uint64_t split = 0; split <= shards; ++split) {
+    ScenarioShardState merged;
+    std::uint64_t expect_next = 0;
+    const auto run_range = [&](std::uint64_t first, std::uint64_t end) {
+      const TrialEngine engine(cfg.threads);
+      const std::uint64_t observed =
+          engine.RunShardsObserved<ScenarioShardState, ScenarioScratch>(
+              cfg.seed, trials, first, end,
+              [&](std::uint64_t, util::Xoshiro256& rng,
+                  ScenarioShardState& acc, ScenarioScratch& scratch) {
+                RunScenarioTrial(cfg, ws, rng, acc, scratch);
+              },
+              [&](std::uint64_t shard, const ScenarioShardState& result) {
+                EXPECT_EQ(shard, expect_next);  // strictly shard-ordered
+                ++expect_next;
+                merged += result;
+              });
+      EXPECT_EQ(observed, end);
+    };
+    run_range(0, split);
+    run_range(split, shards);
+    EXPECT_EQ(merged, whole) << "split at shard " << split;
+  }
+}
+
+TEST(Campaign, InterruptAndResumeMatchesUninterrupted) {
+  const ScenarioConfig cfg = SmallScenario();
+  const unsigned trials = 64;
+
+  const std::string straight = TempPath("straight.json");
+  const sim::CampaignProgress full =
+      sim::RunCampaign(ScenarioSpec(cfg, trials, straight));
+  ASSERT_TRUE(full.complete);
+
+  // Deterministic interruption after one shard (single worker: with more,
+  // already-claimed shards drain and the stop lands later), then resume to
+  // the end on the full thread count — the split must not show.
+  const std::string stopped = TempPath("stopped.json");
+  const sim::CampaignProgress part = sim::RunCampaign(
+      ScenarioSpec(SmallScenario(/*threads=*/1), trials, stopped), nullptr,
+      /*max_shards=*/1);
+  EXPECT_FALSE(part.complete);
+  EXPECT_EQ(part.next_shard, 1u);
+  const sim::CampaignProgress rest =
+      sim::RunCampaign(ScenarioSpec(cfg, trials, stopped));
+  EXPECT_TRUE(rest.complete);
+  EXPECT_TRUE(rest.resumed);
+  EXPECT_EQ(rest.trials_done, trials);
+
+  // The checkpoints' accumulator states — and the merged reports — must be
+  // byte-identical.
+  EXPECT_EQ(ReadAll(stopped), ReadAll(straight));
+  const telemetry::Report a = sim::MergeCampaignCheckpoints({straight});
+  const telemetry::Report b = sim::MergeCampaignCheckpoints({stopped});
+  EXPECT_EQ(a.ToJson(false).Dump(), b.ToJson(false).Dump());
+
+  // And the headline counts must equal the single-shot API's.
+  const auto counts = reliability::RunMonteCarlo(cfg, trials);
+  EXPECT_EQ(a.counters().Get("outcome.corrected"), counts.corrected);
+  EXPECT_EQ(a.counters().Get("outcome.due"), counts.due);
+  EXPECT_EQ(a.counters().Get("reads"), counts.reads);
+}
+
+TEST(Campaign, TwoSliceMergeMatchesSingleProcessRun) {
+  const ScenarioConfig cfg = SmallScenario();
+  const unsigned trials = 64;
+
+  const std::string whole = TempPath("whole.json");
+  ASSERT_TRUE(sim::RunCampaign(ScenarioSpec(cfg, trials, whole)).complete);
+
+  const std::string s0 = TempPath("slice0.json");
+  const std::string s1 = TempPath("slice1.json");
+  ASSERT_TRUE(
+      sim::RunCampaign(ScenarioSpec(cfg, trials, s0, {0, 2})).complete);
+  ASSERT_TRUE(
+      sim::RunCampaign(ScenarioSpec(cfg, trials, s1, {1, 2})).complete);
+
+  const telemetry::Report merged =
+      sim::MergeCampaignCheckpoints({s0, s1});
+  const telemetry::Report single = sim::MergeCampaignCheckpoints({whole});
+  EXPECT_EQ(merged.ToJson(false).Dump(), single.ToJson(false).Dump());
+
+  // Slice order on the command line must not matter.
+  const telemetry::Report reversed =
+      sim::MergeCampaignCheckpoints({s1, s0});
+  EXPECT_EQ(reversed.ToJson(false).Dump(), single.ToJson(false).Dump());
+}
+
+TEST(Campaign, SystemModeSliceMergeIsBitwise) {
+  sim::CampaignSpec spec;
+  spec.mode = sim::CampaignMode::kSystem;
+  spec.system.seed = 3;
+  spec.system.threads = 2;
+  workload::WorkloadConfig wl;
+  wl.num_requests = 50;
+  wl.intensity = 0.05;
+  wl.seed = spec.system.seed;
+  spec.demand = workload::Generate(wl);
+  spec.trials = 48;
+  spec.checkpoint_every = 1;
+  JsonValue fp = JsonValue::MakeObject();
+  fp.Set("mode", JsonValue("system"));
+  fp.Set("seed", JsonValue(spec.system.seed));
+  fp.Set("trials", JsonValue(spec.trials));
+  fp.Set("tck_ns", JsonValue(spec.system.timing.tck_ns));
+  spec.fingerprint = fp;
+
+  spec.checkpoint_path = TempPath("sys_whole.json");
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+  const std::string whole = spec.checkpoint_path;
+
+  const std::string s0 = TempPath("sys_s0.json");
+  const std::string s1 = TempPath("sys_s1.json");
+  spec.checkpoint_path = s0;
+  spec.slice = {0, 2};
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+  spec.checkpoint_path = s1;
+  spec.slice = {1, 2};
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+
+  const telemetry::Report merged =
+      sim::MergeCampaignCheckpoints({s0, s1});
+  const telemetry::Report single = sim::MergeCampaignCheckpoints({whole});
+  EXPECT_EQ(merged.ToJson(false).Dump(), single.ToJson(false).Dump());
+  EXPECT_GT(merged.counters().Get("system.demand.reads"), 0u);
+}
+
+// --------------------------------------------------------- refusal paths
+
+TEST(Campaign, ResumeRefusesDifferentConfig) {
+  const ScenarioConfig cfg = SmallScenario();
+  const std::string path = TempPath("mismatch.json");
+  sim::RunCampaign(ScenarioSpec(cfg, 64, path), nullptr, /*max_shards=*/1);
+
+  sim::CampaignSpec other = ScenarioSpec(cfg, 64, path);
+  other.fingerprint.Set("seed", JsonValue(std::uint64_t{999}));
+  try {
+    sim::RunCampaign(other);
+    FAIL() << "resumed across a config change";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("config hash mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Campaign, MergeRefusesGapsOverlapsAndIncompleteSlices) {
+  const ScenarioConfig cfg = SmallScenario();
+  const unsigned trials = 64;
+  const std::string s0 = TempPath("m_s0.json");
+  const std::string s1 = TempPath("m_s1.json");
+  ASSERT_TRUE(
+      sim::RunCampaign(ScenarioSpec(cfg, trials, s0, {0, 2})).complete);
+  ASSERT_TRUE(
+      sim::RunCampaign(ScenarioSpec(cfg, trials, s1, {1, 2})).complete);
+
+  const auto expect_error = [](const std::vector<std::string>& paths,
+                               const char* substring) {
+    try {
+      sim::MergeCampaignCheckpoints(paths);
+      FAIL() << "merge accepted: expected '" << substring << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(substring), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error({s0}, "gap");
+  expect_error({s0, s0, s1}, "overlap");
+
+  const std::string part = TempPath("m_incomplete.json");
+  sim::RunCampaign(
+      ScenarioSpec(SmallScenario(/*threads=*/1), trials, part, {1, 2}),
+      nullptr, /*max_shards=*/1);
+  expect_error({s0, part}, "incomplete");
+
+  // A slice from a different campaign (different seed) must not merge.
+  ScenarioConfig other_cfg = SmallScenario();
+  other_cfg.seed = 77;
+  const std::string alien = TempPath("m_alien.json");
+  ASSERT_TRUE(sim::RunCampaign(ScenarioSpec(other_cfg, trials, alien, {1, 2}))
+                  .complete);
+  expect_error({s0, alien}, "config hash");
+}
+
+TEST(ParseShardSlice, AcceptsValidRejectsMalformed) {
+  const sim::ShardSlice s = sim::ParseShardSlice("2/8");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 8u);
+  for (const char* bad :
+       {"", "/", "3", "a/4", "1/b", "4/4", "5/2", "1/0", "-1/2", "1/2/3"}) {
+    EXPECT_THROW(sim::ParseShardSlice(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Campaign, FleetProjectionMetrics) {
+  const ScenarioConfig cfg = SmallScenario();
+  const std::string path = TempPath("fleet.json");
+  ASSERT_TRUE(sim::RunCampaign(ScenarioSpec(cfg, 64, path)).complete);
+
+  sim::FleetSpec fleet;
+  fleet.devices = 1e5;
+  fleet.years = 5.0;
+  fleet.trial_years = 5.0;
+  const telemetry::Report report =
+      sim::MergeCampaignCheckpoints({path}, fleet);
+  const JsonValue json = report.ToJson(false);
+  const JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* expected = metrics->Find("fleet.expected_failures");
+  const JsonValue* lo = metrics->Find("fleet.expected_failures_lo");
+  const JsonValue* hi = metrics->Find("fleet.expected_failures_hi");
+  ASSERT_NE(expected, nullptr);
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  EXPECT_LE(lo->AsReal(), expected->AsReal());
+  EXPECT_LE(expected->AsReal(), hi->AsReal());
+  EXPECT_GE(lo->AsReal(), 0.0);
+  EXPECT_LE(hi->AsReal(), fleet.devices);
+}
+
+}  // namespace

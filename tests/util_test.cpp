@@ -2,10 +2,12 @@
 // BitVec semantics, statistics accumulators and table rendering.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <random>
 #include <set>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -312,6 +314,37 @@ TEST(Table, ShortRowsArePadded) {
   std::ostringstream os;
   t.Print(os);
   EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+// ----------------------------------------------------------- atomic_file
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32Hex("123456789"), "cbf43926");
+  EXPECT_EQ(Crc32Hex("").size(), 8u);  // fixed-width, zero-padded
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  const std::uint32_t base = Crc32("checkpoint body");
+  EXPECT_NE(Crc32("checkpoint bodz"), base);
+  EXPECT_NE(Crc32("checkpoint bod"), base);
+}
+
+TEST(AtomicWriteFile, CreatesAndReplaces) {
+  const std::string path = ::testing::TempDir() + "pair_util_atomic.txt";
+  AtomicWriteFile(path, "first");
+  AtomicWriteFile(path, "second");
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "second");
+}
+
+TEST(AtomicWriteFile, ThrowsOnUnwritableDirectory) {
+  EXPECT_THROW(AtomicWriteFile("/nonexistent_dir_zz/x.json", "body"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -710,6 +710,54 @@ class ThreadStaticRule final : public Rule {
   }
 };
 
+// ----------------------------------------------------- CON-ATOMIC rule
+
+class ContractAtomicWriteRule final : public Rule {
+ public:
+  std::string_view Id() const override { return "CON-ATOMIC"; }
+  std::string_view Family() const override { return "CON"; }
+  std::string_view Description() const override {
+    return "raw std::ofstream on a JSON report/checkpoint path — use "
+           "util::AtomicWriteFile so a crash mid-write never leaves a "
+           "torn artifact";
+  }
+  void Check(const SourceFile& file, const AnalyzerConfig& config,
+             std::vector<Finding>& out) const override {
+    if (!HasPathPrefix(file.path(), config.atomic_write_prefixes)) return;
+    if (config.atomic_write_exempt.count(file.path()) != 0) return;
+    const std::string& code = file.code();
+    ForEachIdent(code, 0, code.size(), [&](std::size_t b, std::size_t e) {
+      if (code.substr(b, e - b) != "ofstream") return;
+      // Scope the JSON-ness test to the enclosing function when the scanner
+      // recognised one; fall back to the whole file for free code.
+      std::size_t begin = 0, end = code.size();
+      for (const FunctionDef& fn : file.functions()) {
+        if (b >= fn.body_begin && b < fn.body_end) {
+          begin = fn.body_begin;
+          end = fn.body_end;
+          break;
+        }
+      }
+      bool mentions_json = false;
+      ForEachIdent(code, begin, end, [&](std::size_t ib, std::size_t ie) {
+        std::string ident = code.substr(ib, ie - ib);
+        std::transform(ident.begin(), ident.end(), ident.begin(),
+                       [](unsigned char c) {
+                         return static_cast<char>(std::tolower(c));
+                       });
+        mentions_json |= ident.find("json") != std::string::npos;
+      });
+      if (!mentions_json) return;
+      out.push_back(
+          {std::string(Id()), file.path(), file.LineOf(b),
+           "std::ofstream opened where a JSON artifact is written; "
+           "report/checkpoint files must go through util::AtomicWriteFile "
+           "(write-temp, fsync, rename) so readers and crashes never "
+           "observe a torn file"});
+    });
+  }
+};
+
 // --------------------------------------------------- suppression parsing
 
 constexpr std::string_view kAllowMarker = "PAIR_ANALYZE_ALLOW(";
@@ -909,6 +957,8 @@ AnalyzerConfig AnalyzerConfig::Default() {
       "GfniMulAddInto",           "GfniSyndromeAccumulate"};
   c.hot_banned_calls = {"Encode", "ComputeParity", "ParityDelta", "Syndromes"};
   c.contract_prefixes = {"src/"};
+  c.atomic_write_prefixes = {"src/", "tools/"};
+  c.atomic_write_exempt = {"src/util/atomic_file.hpp"};
   return c;
 }
 
@@ -929,6 +979,7 @@ Analyzer Analyzer::WithDefaultRules(AnalyzerConfig config) {
   a.AddRule(std::make_unique<HotColdApiRule>());
   a.AddRule(std::make_unique<LayeringRule>());
   a.AddRule(std::make_unique<ContractSpanRule>());
+  a.AddRule(std::make_unique<ContractAtomicWriteRule>());
   a.AddRule(std::make_unique<ThreadStaticRule>());
   return a;
 }

@@ -178,6 +178,14 @@ struct AnalyzerConfig {
   /// entry-contract rule.
   std::vector<std::string> contract_prefixes;
 
+  /// CON-ATOMIC scope: under these prefixes, a function that opens a
+  /// std::ofstream while mentioning a JSON-ish identifier is presumed to be
+  /// writing a report/checkpoint artifact and must use util::AtomicWriteFile
+  /// (write-temp, fsync, rename) instead. `atomic_write_exempt` names the
+  /// files allowed to open raw streams (the atomic writer itself).
+  std::vector<std::string> atomic_write_prefixes;
+  std::set<std::string> atomic_write_exempt;
+
   /// The layering + scoping that matches this repository.
   static AnalyzerConfig Default();
 };

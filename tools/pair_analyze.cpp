@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -104,12 +105,13 @@ int main(int argc, char** argv) {
 
     if (!json_path.empty()) {
       const JsonValue report = ResultToReport(result);
-      std::ofstream out(json_path, std::ios::binary);
-      if (!out) {
-        std::cerr << "pair_analyze: cannot write " << json_path << "\n";
+      try {
+        pair_ecc::util::AtomicWriteFile(json_path, report.Dump());
+      } catch (const std::exception& e) {
+        std::cerr << "pair_analyze: cannot write " << json_path << ": "
+                  << e.what() << "\n";
         return 2;
       }
-      report.Write(out);
     }
 
     if (check) {

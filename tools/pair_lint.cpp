@@ -41,6 +41,7 @@
 #include "gf/gf2m.hpp"
 #include "rs/rs_code.hpp"
 #include "telemetry/report.hpp"
+#include "util/atomic_file.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -460,10 +461,14 @@ bool WriteJsonReport(const std::string& path, const std::string& which,
   report.AddTable("checks", checks);
   report.AddTable("violations", violations);
 
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  std::ostringstream out;
   report.ToJson(/*include_timing=*/false).Write(out);
-  return static_cast<bool>(out);
+  try {
+    pair_ecc::util::AtomicWriteFile(path, out.str());
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 int Run(const std::string& which, std::uint64_t seed,

@@ -8,13 +8,6 @@
 //   pairsim lifetime    [--scheme S] [--epochs E] [--rate R] [--scrub K]
 //                       [--trials T] [--seed X] [--threads W] [--json FILE]
 //       Fault accumulation over a deployment window with patrol scrubbing.
-//
-// --json FILE writes a versioned "pair-report" JSON document (schema in
-// docs/ARCHITECTURE.md §8): deterministic counters + metrics, wall-clock
-// in the separable "timing" section. Compare two with tools/bench_diff.
-//
-// Monte-Carlo commands shard trials over --threads workers (default: all
-// hardware threads); results are bitwise identical for any thread count.
 //   pairsim perf        [--scheme S] [--pattern P] [--reads F]
 //                       [--requests N] [--intensity I] [--seed X]
 //                       [--trace FILE] [--save-trace FILE]
@@ -26,15 +19,45 @@
 //       Event-driven full-system lifetimes: demand traffic, Poisson fault
 //       arrivals, patrol scrub, and threshold repair interleaved over one
 //       event queue, timed by the DDR4 controller (src/sim).
+//   pairsim campaign run --checkpoint FILE [--mode reliability|system]
+//                        [--shard i/N] [--checkpoint-every K]
+//                        [--max-shards M] [--json FILE] [mode flags...]
+//       Crash-safe resumable campaign: accumulator state is periodically
+//       persisted to a checksummed checkpoint (atomic replace), SIGINT/
+//       SIGTERM drain the in-flight shard and exit 3 ("interrupted,
+//       resumable" — rerun the same command to resume), and --shard i/N
+//       runs one slice of a cross-process split.
+//   pairsim campaign merge --json FILE [--fleet-devices D --fleet-years Y
+//                          [--trial-years T]] CKPT...
+//       Validate completed slice checkpoints (coverage, config hash,
+//       checksums) and merge them into the campaign report — byte-identical
+//       to an uninterrupted single-process run. Fleet flags add expected
+//       fleet-failure projections with Wilson CIs.
+//
+// --json FILE writes a versioned "pair-report" JSON document (schema in
+// docs/ARCHITECTURE.md §8): deterministic counters + metrics, wall-clock
+// in the separable "timing" section. Compare two with tools/bench_diff.
+//
+// Monte-Carlo commands shard trials over --threads workers (default: all
+// hardware threads); results are bitwise identical for any thread count.
+// PAIR_TRIALS in the environment overrides --trials for campaign run
+// (the same knob the bench binaries honour).
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 campaign interrupted but
+// resumable.
 //
 // Schemes:  noecc iecc secded iecc+secded xed duo pair2 pair4 pair4+secded
 // Mixes:    inherent cellonly clustered
 // Patterns: stream random hotspot linear strided
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
-#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,9 +67,11 @@
 #include "reliability/lifetime.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "reliability/telemetry.hpp"
+#include "sim/campaign.hpp"
 #include "sim/memory_system.hpp"
 #include "telemetry/report.hpp"
 #include "timing/controller.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace_io.hpp"
@@ -54,6 +79,11 @@
 using namespace pair_ecc;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; the campaign runner polls it between
+/// shards. Signal-handler writes to a lock-free atomic are the only
+/// async-signal-safe communication the standard blesses.
+std::atomic<bool> g_stop_requested{false};
 
 const std::map<std::string, ecc::SchemeKind> kSchemes = {
     {"noecc", ecc::SchemeKind::kNoEcc},
@@ -68,13 +98,20 @@ const std::map<std::string, ecc::SchemeKind> kSchemes = {
 };
 
 /// Minimal --flag value parser: every flag takes exactly one value.
+/// Numeric getters reject trailing garbage, signs, and out-of-range
+/// values with a one-line diagnostic naming the flag — a typo'd
+/// `--trials 10k` must never silently truncate to 10.
 class Args {
  public:
-  Args(int argc, char** argv, int first) {
+  Args(int argc, char** argv, int first, bool allow_positionals = false) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0)
-        throw std::runtime_error("expected --flag, got '" + key + "'");
+      if (key.rfind("--", 0) != 0) {
+        if (!allow_positionals)
+          throw std::runtime_error("expected --flag, got '" + key + "'");
+        positionals_.push_back(std::move(key));
+        continue;
+      }
       if (i + 1 >= argc)
         throw std::runtime_error("flag " + key + " needs a value");
       values_[key.substr(2)] = argv[++i];
@@ -88,15 +125,40 @@ class Args {
   }
   double GetDouble(const std::string& key, double fallback) {
     const auto s = Get(key, "");
-    return s.empty() ? fallback : std::stod(s);
-  }
-  unsigned GetUnsigned(const std::string& key, unsigned fallback) {
-    const auto s = Get(key, "");
-    return s.empty() ? fallback : static_cast<unsigned>(std::stoul(s));
+    if (s.empty()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(s, &pos);
+      if (pos != s.size()) throw std::invalid_argument("trailing garbage");
+      return v;
+    } catch (const std::exception&) {
+      throw std::runtime_error("flag --" + key + ": invalid number '" + s +
+                               "'");
+    }
   }
   std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) {
     const auto s = Get(key, "");
-    return s.empty() ? fallback : std::stoull(s);
+    if (s.empty()) return fallback;
+    if (s.find_first_not_of("0123456789") != std::string::npos)
+      throw std::runtime_error("flag --" + key +
+                               ": invalid non-negative integer '" + s + "'");
+    try {
+      return std::stoull(s);
+    } catch (const std::exception&) {
+      throw std::runtime_error("flag --" + key + ": value '" + s +
+                               "' is out of range");
+    }
+  }
+  unsigned GetUnsigned(const std::string& key, unsigned fallback) {
+    const std::uint64_t v = GetU64(key, fallback);
+    if (v > std::numeric_limits<unsigned>::max())
+      throw std::runtime_error("flag --" + key + ": value " +
+                               std::to_string(v) + " is out of range");
+    return static_cast<unsigned>(v);
+  }
+
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
   }
 
   /// Errors on flags nobody asked for (typo protection).
@@ -111,6 +173,7 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> consumed_;
+  std::vector<std::string> positionals_;
 };
 
 ecc::SchemeKind ParseScheme(const std::string& name) {
@@ -134,6 +197,56 @@ workload::Pattern ParsePattern(const std::string& name) {
   if (name == "linear") return workload::Pattern::kLinear;
   if (name == "strided") return workload::Pattern::kStrided;
   throw std::runtime_error("unknown pattern '" + name + "'");
+}
+
+/// Pre-validates a demand trace against the timing model with one-line
+/// diagnostics, so a bad trace fails cleanly at the CLI boundary instead
+/// of tripping a contract check deep inside RunSystemCampaign.
+void ValidateDemandTrace(const timing::Trace& demand,
+                         const timing::TimingParams& params,
+                         const std::string& source) {
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    const timing::Request& req = demand[i];
+    if (req.addr.bank >= params.banks)
+      throw std::runtime_error(
+          "trace '" + source + "': request #" + std::to_string(i) + " bank " +
+          std::to_string(req.addr.bank) + " outside the timing model's " +
+          std::to_string(params.banks) + " banks");
+    if (req.rank >= params.ranks)
+      throw std::runtime_error(
+          "trace '" + source + "': request #" + std::to_string(i) + " rank " +
+          std::to_string(req.rank) + " outside the timing model's " +
+          std::to_string(params.ranks) + " ranks");
+    if (i != 0 && req.arrival < demand[i - 1].arrival)
+      throw std::runtime_error("trace '" + source +
+                               "': requests must be sorted by arrival "
+                               "(request #" +
+                               std::to_string(i) + " arrives earlier than "
+                               "its predecessor)");
+  }
+}
+
+/// PAIR_TRIALS environment override (the bench binaries' convention).
+unsigned ResolveTrials(unsigned from_flags) {
+  const char* env = std::getenv("PAIR_TRIALS");
+  if (env == nullptr || *env == '\0') return from_flags;
+  const std::string s(env);
+  if (s.find_first_not_of("0123456789") != std::string::npos)
+    throw std::runtime_error("PAIR_TRIALS: invalid non-negative integer '" +
+                             s + "'");
+  const unsigned long long v = std::stoull(s);
+  if (v > std::numeric_limits<unsigned>::max())
+    throw std::runtime_error("PAIR_TRIALS: value " + s + " is out of range");
+  return static_cast<unsigned>(v);
+}
+
+std::string ReadFileBytes(const std::string& path, const std::string& what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot read " + what + " '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 int CmdCodes() {
@@ -273,6 +386,8 @@ int CmdPerf(Args& args) {
 
   timing::TimingParams params = timing::TimingParams::Ddr4_3200();
   params.ranks = cfg.ranks;
+  ValidateDemandTrace(trace, params,
+                      trace_path.empty() ? "<synthetic>" : trace_path);
   auto run = [&](ecc::SchemeKind k, timing::Trace t_in) {
     dram::RankGeometry rg;
     dram::Rank rank(rg);
@@ -307,38 +422,70 @@ int CmdPerf(Args& args) {
   return 0;
 }
 
-int CmdSystem(Args& args) {
+/// Builds the system config + synthetic-workload config from flags —
+/// shared by `system` and `campaign run --mode system` so both accept the
+/// same knobs. Scheme/mix names are returned for config fingerprints.
+struct SystemFlags {
   sim::SystemConfig cfg;
-  cfg.scheme = ParseScheme(args.Get("scheme", "pair4"));
-  cfg.mix = ParseMix(args.Get("mix", "inherent"));
-  cfg.faults_per_mcycle = args.GetDouble("fault-rate", 20.0);
-  cfg.horizon_cycles = args.GetU64("horizon", 0);
-  cfg.scrub.interval_cycles = args.GetU64("scrub-interval", 5000);
-  cfg.scrub.rows_per_step = args.GetUnsigned("scrub-rows", 1);
-  cfg.scrub.demand_writeback = args.GetUnsigned("writeback", 1) != 0;
-  cfg.repair.due_threshold = args.GetUnsigned("due-threshold", 3);
-  cfg.repair.repair_latency_cycles = args.GetU64("repair-latency", 2000);
-  cfg.repair.enable_sparing = args.GetUnsigned("sparing", 1) != 0;
-  cfg.working_rows = args.GetUnsigned("rows", 2);
-  cfg.lines_per_row = args.GetUnsigned("lines", 4);
-  cfg.seed = args.GetU64("seed", 1);
-  cfg.threads = args.GetUnsigned("threads", 0);
-  const unsigned trials = args.GetUnsigned("trials", 200);
-  const std::string trace_path = args.Get("trace", "");
-  const std::string json_path = args.Get("json", "");
-
-  // Synthetic demand stream, used when no --trace file is given.
   workload::WorkloadConfig wl;
-  wl.pattern = ParsePattern(args.Get("pattern", "hotspot"));
-  wl.read_fraction = args.GetDouble("reads", 0.67);
-  wl.num_requests = args.GetUnsigned("requests", 400);
-  wl.intensity = args.GetDouble("intensity", 0.05);
-  wl.seed = cfg.seed;
-  args.CheckAllConsumed();
+  std::string scheme_name;
+  std::string mix_name;
+  std::string pattern_name;
+  std::string trace_path;
+};
 
-  const timing::Trace demand = trace_path.empty()
-                                   ? workload::Generate(wl)
-                                   : workload::ReadTraceFile(trace_path);
+SystemFlags ParseSystemFlags(Args& args) {
+  SystemFlags f;
+  f.scheme_name = args.Get("scheme", "pair4");
+  f.mix_name = args.Get("mix", "inherent");
+  f.cfg.scheme = ParseScheme(f.scheme_name);
+  f.cfg.mix = ParseMix(f.mix_name);
+  f.cfg.faults_per_mcycle = args.GetDouble("fault-rate", 20.0);
+  f.cfg.horizon_cycles = args.GetU64("horizon", 0);
+  f.cfg.scrub.interval_cycles = args.GetU64("scrub-interval", 5000);
+  f.cfg.scrub.rows_per_step = args.GetUnsigned("scrub-rows", 1);
+  f.cfg.scrub.demand_writeback = args.GetUnsigned("writeback", 1) != 0;
+  f.cfg.repair.due_threshold = args.GetUnsigned("due-threshold", 3);
+  f.cfg.repair.repair_latency_cycles = args.GetU64("repair-latency", 2000);
+  f.cfg.repair.enable_sparing = args.GetUnsigned("sparing", 1) != 0;
+  f.cfg.working_rows = args.GetUnsigned("rows", 2);
+  f.cfg.lines_per_row = args.GetUnsigned("lines", 4);
+  f.cfg.seed = args.GetU64("seed", 1);
+  f.cfg.threads = args.GetUnsigned("threads", 0);
+  f.trace_path = args.Get("trace", "");
+
+  // Clean one-line diagnostics for the config mistakes a user can actually
+  // make from the CLI; SystemConfig::Validate() stays the contract backstop.
+  if (f.cfg.working_rows == 0)
+    throw std::runtime_error("flag --rows: must be positive");
+  if (f.cfg.lines_per_row == 0)
+    throw std::runtime_error("flag --lines: must be positive");
+  if (f.cfg.scrub.rows_per_step == 0)
+    throw std::runtime_error("flag --scrub-rows: must be positive");
+  if (f.cfg.faults_per_mcycle < 0.0)
+    throw std::runtime_error("flag --fault-rate: must be non-negative");
+
+  f.pattern_name = args.Get("pattern", "hotspot");
+  f.wl.pattern = ParsePattern(f.pattern_name);
+  f.wl.read_fraction = args.GetDouble("reads", 0.67);
+  f.wl.num_requests = args.GetUnsigned("requests", 400);
+  f.wl.intensity = args.GetDouble("intensity", 0.05);
+  f.wl.seed = f.cfg.seed;
+  return f;
+}
+
+int CmdSystem(Args& args) {
+  SystemFlags f = ParseSystemFlags(args);
+  const unsigned trials = args.GetUnsigned("trials", 200);
+  const std::string json_path = args.Get("json", "");
+  args.CheckAllConsumed();
+  const sim::SystemConfig& cfg = f.cfg;
+
+  const timing::Trace demand = f.trace_path.empty()
+                                   ? workload::Generate(f.wl)
+                                   : workload::ReadTraceFile(f.trace_path);
+  ValidateDemandTrace(demand, cfg.timing,
+                      f.trace_path.empty() ? "<synthetic>" : f.trace_path);
 
   const auto start = std::chrono::steady_clock::now();
   reliability::ScenarioTelemetry tel;
@@ -382,9 +529,207 @@ int CmdSystem(Args& args) {
   return 0;
 }
 
+// ----------------------------------------------------------- campaign
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+sim::FleetSpec ParseFleetFlags(Args& args) {
+  sim::FleetSpec fleet;
+  fleet.devices = args.GetDouble("fleet-devices", 0.0);
+  fleet.years = args.GetDouble("fleet-years", 0.0);
+  fleet.trial_years = args.GetDouble("trial-years", 5.0);
+  if (fleet.devices < 0.0 || fleet.years < 0.0 || fleet.trial_years <= 0.0)
+    throw std::runtime_error(
+        "fleet flags: --fleet-devices/--fleet-years must be non-negative "
+        "and --trial-years positive");
+  return fleet;
+}
+
+void PrintCampaignReportSummary(const telemetry::Report& report) {
+  const auto& c = report.counters();
+  const bool system = c.Get("system.trials") != 0 || c.Get("trials") == 0;
+  const std::uint64_t trials =
+      system ? c.Get("system.trials") : c.Get("trials");
+  const std::uint64_t failures = system ? c.Get("system.trials_with_failure")
+                                        : c.Get("trials_with_failure");
+  std::cout << "campaign totals: " << trials << " trials, " << failures
+            << " with failure";
+  if (trials != 0)
+    std::cout << " (P(failure)/trial = "
+              << util::Table::Sci(static_cast<double>(failures) /
+                                  static_cast<double>(trials))
+              << ")";
+  std::cout << "\n";
+}
+
+int CmdCampaignRun(Args& args) {
+  sim::CampaignSpec spec;
+  const std::string mode_name = args.Get("mode", "reliability");
+  spec.mode = sim::CampaignModeFromString(mode_name);
+  spec.checkpoint_path = args.Get("checkpoint", "");
+  spec.checkpoint_every = args.GetU64("checkpoint-every", 4);
+  const std::string shard_spec = args.Get("shard", "");
+  if (!shard_spec.empty()) spec.slice = sim::ParseShardSlice(shard_spec);
+  const std::uint64_t max_shards = args.GetU64("max-shards", 0);
+  const std::string json_path = args.Get("json", "");
+  const sim::FleetSpec fleet = ParseFleetFlags(args);
+
+  telemetry::JsonValue fp = telemetry::JsonValue::MakeObject();
+  fp.Set("mode", telemetry::JsonValue(mode_name));
+  unsigned trials = 0;
+
+  if (spec.mode == sim::CampaignMode::kReliability) {
+    auto& cfg = spec.scenario;
+    const std::string scheme_name = args.Get("scheme", "pair4");
+    const std::string mix_name = args.Get("mix", "inherent");
+    cfg.scheme = ParseScheme(scheme_name);
+    cfg.mix = ParseMix(mix_name);
+    cfg.faults_per_trial = args.GetUnsigned("faults", 2);
+    cfg.seed = args.GetU64("seed", 1);
+    cfg.threads = args.GetUnsigned("threads", 0);
+    trials = ResolveTrials(args.GetUnsigned("trials", 500));
+    fp.Set("scheme", telemetry::JsonValue(scheme_name));
+    fp.Set("mix", telemetry::JsonValue(mix_name));
+    fp.Set("faults_per_trial", telemetry::JsonValue(cfg.faults_per_trial));
+    fp.Set("working_rows", telemetry::JsonValue(cfg.working_rows));
+    fp.Set("lines_per_row", telemetry::JsonValue(cfg.lines_per_row));
+    fp.Set("seed", telemetry::JsonValue(cfg.seed));
+    fp.Set("trials", telemetry::JsonValue(trials));
+  } else {
+    SystemFlags f = ParseSystemFlags(args);
+    trials = ResolveTrials(args.GetUnsigned("trials", 200));
+    spec.system = f.cfg;
+    spec.demand = f.trace_path.empty()
+                      ? workload::Generate(f.wl)
+                      : workload::ReadTraceFile(f.trace_path);
+    ValidateDemandTrace(spec.demand, spec.system.timing,
+                        f.trace_path.empty() ? "<synthetic>" : f.trace_path);
+    fp.Set("scheme", telemetry::JsonValue(f.scheme_name));
+    fp.Set("mix", telemetry::JsonValue(f.mix_name));
+    fp.Set("faults_per_mcycle",
+           telemetry::JsonValue(spec.system.faults_per_mcycle));
+    fp.Set("horizon_cycles", telemetry::JsonValue(spec.system.horizon_cycles));
+    fp.Set("scrub_interval_cycles",
+           telemetry::JsonValue(spec.system.scrub.interval_cycles));
+    fp.Set("scrub_rows_per_step",
+           telemetry::JsonValue(spec.system.scrub.rows_per_step));
+    fp.Set("demand_writeback",
+           telemetry::JsonValue(spec.system.scrub.demand_writeback ? 1 : 0));
+    fp.Set("due_threshold",
+           telemetry::JsonValue(spec.system.repair.due_threshold));
+    fp.Set("repair_latency_cycles",
+           telemetry::JsonValue(spec.system.repair.repair_latency_cycles));
+    fp.Set("enable_sparing",
+           telemetry::JsonValue(spec.system.repair.enable_sparing ? 1 : 0));
+    fp.Set("working_rows", telemetry::JsonValue(spec.system.working_rows));
+    fp.Set("lines_per_row", telemetry::JsonValue(spec.system.lines_per_row));
+    fp.Set("seed", telemetry::JsonValue(spec.system.seed));
+    fp.Set("trials", telemetry::JsonValue(trials));
+    fp.Set("tck_ns", telemetry::JsonValue(spec.system.timing.tck_ns));
+    if (!f.trace_path.empty()) {
+      // The demand trace is part of the campaign's identity: slices run
+      // against different trace bytes must never merge.
+      fp.Set("trace_crc32",
+             telemetry::JsonValue(util::Crc32Hex(
+                 ReadFileBytes(f.trace_path, "trace"))));
+      fp.Set("trace_requests",
+             telemetry::JsonValue(static_cast<std::uint64_t>(
+                 spec.demand.size())));
+    } else {
+      fp.Set("pattern", telemetry::JsonValue(f.pattern_name));
+      fp.Set("read_fraction", telemetry::JsonValue(f.wl.read_fraction));
+      fp.Set("requests", telemetry::JsonValue(f.wl.num_requests));
+      fp.Set("intensity", telemetry::JsonValue(f.wl.intensity));
+    }
+  }
+  args.CheckAllConsumed();
+
+  if (spec.checkpoint_path.empty())
+    throw std::runtime_error("campaign run requires --checkpoint FILE");
+  if (!json_path.empty() && spec.slice.count != 1)
+    throw std::runtime_error(
+        "campaign run --json covers the full campaign only; run slices "
+        "without --json and combine them with 'pairsim campaign merge'");
+  spec.trials = trials;
+  spec.fingerprint = std::move(fp);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  const auto start = std::chrono::steady_clock::now();
+  const sim::CampaignProgress progress =
+      sim::RunCampaign(spec, &g_stop_requested, max_shards);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  std::cout << "campaign " << mode_name << ": slice " << spec.slice.index
+            << "/" << spec.slice.count << " = shards ["
+            << progress.first_shard << ", " << progress.end_shard << ") of "
+            << progress.total_shards << (progress.resumed ? ", resumed" : "")
+            << ", " << progress.trials_done << " trials done in "
+            << util::Table::Fixed(elapsed.count(), 2) << " s\n";
+
+  if (!progress.complete) {
+    std::cout << "campaign interrupted at shard " << progress.next_shard
+              << " of [" << progress.first_shard << ", "
+              << progress.end_shard << "); checkpoint saved to '"
+              << spec.checkpoint_path
+              << "' — rerun the same command to resume\n";
+    return 3;
+  }
+  std::cout << "slice complete; checkpoint finalised at '"
+            << spec.checkpoint_path << "'\n";
+
+  if (!json_path.empty()) {
+    const telemetry::Report report =
+        sim::MergeCampaignCheckpoints({spec.checkpoint_path}, fleet);
+    PrintCampaignReportSummary(report);
+    if (!telemetry::WriteReportFile(report, json_path))
+      throw std::runtime_error("cannot write JSON report to " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
+int CmdCampaignMerge(Args& args) {
+  const std::string json_path = args.Get("json", "");
+  const sim::FleetSpec fleet = ParseFleetFlags(args);
+  args.CheckAllConsumed();
+  const std::vector<std::string>& paths = args.positionals();
+  if (paths.empty())
+    throw std::runtime_error(
+        "campaign merge: no checkpoint files given (pass them as "
+        "positional arguments)");
+
+  const telemetry::Report report =
+      sim::MergeCampaignCheckpoints(paths, fleet);
+  std::cout << "merged " << paths.size() << " checkpoint(s)\n";
+  PrintCampaignReportSummary(report);
+  const double expected =
+      // 0.0 when fleet projection is disabled (metric absent).
+      fleet.devices > 0.0 && fleet.years > 0.0
+          ? report.ToJson(false).Find("metrics")
+                ->Find("fleet.expected_failures")->AsReal()
+          : 0.0;
+  if (fleet.devices > 0.0 && fleet.years > 0.0)
+    std::cout << "fleet projection: " << util::Table::Fixed(expected, 2)
+              << " expected failures across "
+              << util::Table::Fixed(fleet.devices, 0) << " devices over "
+              << util::Table::Fixed(fleet.years, 1) << " years\n";
+
+  if (!json_path.empty()) {
+    if (!telemetry::WriteReportFile(report, json_path))
+      throw std::runtime_error("cannot write JSON report to " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr
-      << "usage: pairsim <codes|reliability|lifetime|perf|system> "
+      << "usage: pairsim <codes|reliability|lifetime|perf|system|campaign> "
          "[--flag value]...\n"
          "  pairsim codes\n"
          "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
@@ -395,7 +740,17 @@ int Usage() {
          "  pairsim system --scheme pair4 [--trace t.txt | --pattern hotspot\n"
          "                 --requests 400] [--fault-rate 20]\n"
          "                 [--scrub-interval 5000] [--due-threshold 3]\n"
-         "                 [--trials 200] [--threads 8] [--json out.json]\n";
+         "                 [--trials 200] [--threads 8] [--json out.json]\n"
+         "  pairsim campaign run --checkpoint ck.json [--mode "
+         "reliability|system]\n"
+         "                 [--shard i/N] [--checkpoint-every 4] "
+         "[--max-shards M]\n"
+         "                 [--json out.json] [mode flags as above]\n"
+         "  pairsim campaign merge [--json out.json] [--fleet-devices D\n"
+         "                 --fleet-years Y [--trial-years 5]] ck0.json "
+         "ck1.json...\n"
+         "exit codes: 0 ok, 1 error, 2 usage, 3 campaign interrupted "
+         "(resumable)\n";
   return 2;
 }
 
@@ -405,6 +760,19 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "campaign") {
+      if (argc < 3) return Usage();
+      const std::string sub = argv[2];
+      if (sub == "run") {
+        Args args(argc, argv, 3);
+        return CmdCampaignRun(args);
+      }
+      if (sub == "merge") {
+        Args args(argc, argv, 3, /*allow_positionals=*/true);
+        return CmdCampaignMerge(args);
+      }
+      return Usage();
+    }
     Args args(argc, argv, 2);
     if (cmd == "codes") return CmdCodes();
     if (cmd == "reliability") return CmdReliability(args);
