@@ -13,7 +13,10 @@
 //                        reliability gain and the bus traffic it costs.
 #include "bench/bench_common.hpp"
 
+#include "reliability/variance_reduction.hpp"
+#include "sim/campaign.hpp"
 #include "sim/memory_system.hpp"
+#include "sim/splitting.hpp"
 #include "workload/generator.hpp"
 
 using namespace pair_ecc;
@@ -92,8 +95,48 @@ int main() {
   std::cout << "-- PAIR-4 patrol scrub sweep --\n";
   report.Emit("scrub_sweep", sweep);
 
+  // Splitting-accelerated tail: with patrol scrub off, faults persist
+  // until demand traffic finds them, and lifetime failure hinges on the
+  // rare trajectories that accumulate several non-clean demand reads.
+  // Multilevel splitting over that cumulative count clones trajectories as
+  // they approach failure (replaying the seed vector, branching the RNG at
+  // each crossing), concentrating simulation effort on near-failure paths.
+  // Trees are functional-only (no timing pass), so a root costs a fraction
+  // of a naive lifetime trial.
+  reliability::SplitSpec split;
+  split.thresholds = {1, 2, 4};
+  split.replicas = 3;
+  const unsigned kRoots = kTrials;
+  report.MetaInt("split_roots", kRoots);
+  report.MetaInt("split_replicas", split.replicas);
+
+  util::Table split_t({"scheme", "roots", "nodes", "splits", "P(failure)",
+                       "std err", "acceleration"});
+  for (const auto kind : {ecc::SchemeKind::kSecDed, ecc::SchemeKind::kXed,
+                          ecc::SchemeKind::kPair4}) {
+    sim::SystemConfig cfg = BaseConfig(kind);
+    cfg.scrub.interval_cycles = 0;
+    const reliability::WorkingSet ws = sim::MakeSystemWorkingSet(cfg);
+    reliability::SplitTally tally;
+    for (unsigned i = 0; i < kRoots; ++i)
+      sim::RunSplitTrial(cfg, ws, demand, split,
+                         bench::kBenchSeed + 7919ull * i, tally);
+    const reliability::WeightedEstimate est =
+        reliability::EstimateSplitRate(split, tally);
+    split_t.AddRow({ecc::ToString(kind), std::to_string(tally.root_trials),
+                    std::to_string(tally.nodes), std::to_string(tally.splits),
+                    util::Table::Sci(est.estimate),
+                    util::Table::Sci(est.std_error),
+                    util::Table::Fixed(est.acceleration, 2)});
+  }
+  std::cout << "-- splitting-accelerated tail (scrub off, levels 1,2,4 x"
+            << split.replicas << ") --\n";
+  report.Emit("split_tail", split_t);
+
   std::cout << "Shape check: stronger codes trade read latency for orders of\n"
                "magnitude on P(SDC); faster patrol scrub buys reliability\n"
-               "with bus reads/writes, not demand latency.\n";
+               "with bus reads/writes, not demand latency. The splitting\n"
+               "table resolves the rare-failure regime the naive tables\n"
+               "cannot, at a fraction of the node budget.\n";
   return 0;
 }

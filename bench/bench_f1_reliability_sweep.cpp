@@ -9,6 +9,7 @@
 #include "bench/bench_common.hpp"
 
 #include "reliability/monte_carlo.hpp"
+#include "reliability/variance_reduction.hpp"
 
 using namespace pair_ecc;
 
@@ -56,8 +57,49 @@ int main() {
   std::cout << "-- Poisson-combined sweep --\n";
   report.Emit("poisson_sweep", t);
 
+  // Rare tail via importance sampling: at a field-realistic lambda the
+  // failure probability is ~1e-12 — invisible to the naive sweep above at
+  // any affordable trial count. The forced-fault-count tilt spends every
+  // trial in the 2..6-fault window that carries the tail mass and
+  // reweights by the exact Poisson likelihood ratio.
+  reliability::TiltSpec tilt;
+  tilt.kind = reliability::TiltKind::kForced;
+  tilt.lambda = 1.6e-5;
+  tilt.proposal_lambda = 1.5;
+  tilt.min_faults = 2;
+  tilt.max_faults = 6;
+  report.MetaReal("tail_lambda", tilt.lambda);
+  report.MetaReal("tail_proposal", tilt.proposal_lambda);
+
+  util::Table tail({"scheme", "P(failure)", "std err", "ESS",
+                    "naive-equiv trials", "acceleration"});
+  for (const auto kind : bench::ComparedSchemes()) {
+    reliability::ScenarioConfig cfg;
+    cfg.scheme = kind;
+    cfg.mix = faults::FaultMix::Inherent();
+    cfg.working_rows = 1;
+    cfg.lines_per_row = 4;
+    cfg.seed = bench::kBenchSeed + 99;
+    const reliability::WeightedScenarioState state =
+        reliability::RunWeightedMonteCarlo(cfg, tilt, kTrials);
+    const reliability::WeightedEstimate est =
+        reliability::EstimateWeightedRate(reliability::TiltSampler(tilt),
+                                          state.tally,
+                                          reliability::WeightedEvent::kFailure);
+    tail.AddRow({ecc::ToString(kind), util::Table::Sci(est.estimate),
+                 util::Table::Sci(est.std_error),
+                 util::Table::Fixed(est.ess, 1),
+                 util::Table::Sci(est.naive_equiv_trials),
+                 util::Table::Sci(est.acceleration)});
+  }
+  std::cout << "-- importance-sampled rare tail (lambda = 1.6e-5, forced "
+               "2..6 faults) --\n";
+  report.Emit("rare_tail_is", tail);
+
   std::cout << "Shape check: PAIR-4's SDC stays orders of magnitude below\n"
                "XED/IECC across the sweep; DUO's SDC is comparable to PAIR\n"
-               "while paying bus bandwidth (F4) for it.\n";
+               "while paying bus bandwidth (F4) for it. The IS tail table\n"
+               "resolves ~1e-12 probabilities with >=100x naive-equivalent\n"
+               "acceleration at the same trial budget.\n";
   return 0;
 }

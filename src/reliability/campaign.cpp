@@ -25,11 +25,17 @@ WorkingSet MakeScenarioWorkingSet(const ScenarioConfig& config) {
 void RunScenarioTrial(const ScenarioConfig& config, const WorkingSet& ws,
                       util::Xoshiro256& rng, ScenarioShardState& acc,
                       ScenarioScratch& scratch) {
+  RunScenarioTrial(config, ws, rng, acc, scratch, config.faults_per_trial);
+}
+
+void RunScenarioTrial(const ScenarioConfig& config, const WorkingSet& ws,
+                      util::Xoshiro256& rng, ScenarioShardState& acc,
+                      ScenarioScratch& scratch, unsigned faults) {
   OutcomeCounts& counts = acc.counts;
   TrialContext ctx(config.geometry, config.scheme, ws, rng);
 
   faults::Injector injector(ctx.rank, ws.rows);
-  for (unsigned f = 0; f < config.faults_per_trial; ++f)
+  for (unsigned f = 0; f < faults; ++f)
     injector.InjectFromMix(config.mix, rng);
 
   // One batch demand read over the whole working set; classification

@@ -61,6 +61,15 @@ void RunScenarioTrial(const ScenarioConfig& config, const WorkingSet& ws,
                       util::Xoshiro256& rng, ScenarioShardState& acc,
                       ScenarioScratch& scratch);
 
+/// Same trial body with an explicit fault count — the hook the importance
+/// sampler uses to run one trial conditioned on `faults` injected faults.
+/// The default entry point above delegates here with
+/// `config.faults_per_trial`, so the two draw identical RNG sequences for
+/// the same count.
+void RunScenarioTrial(const ScenarioConfig& config, const WorkingSet& ws,
+                      util::Xoshiro256& rng, ScenarioShardState& acc,
+                      ScenarioScratch& scratch, unsigned faults);
+
 // ---- exact JSON round-trip of the accumulator (checkpoint state) ----
 
 telemetry::JsonValue OutcomeCountsToJson(const OutcomeCounts& counts);

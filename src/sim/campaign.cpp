@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/splitting.hpp"
 #include "telemetry/checkpoint.hpp"
 #include "util/atomic_file.hpp"
 #include "util/stats.hpp"
@@ -345,6 +346,25 @@ CampaignProgress RunCampaign(const CampaignSpec& spec,
     spec.scenario.geometry.Validate();
     const reliability::WorkingSet ws =
         reliability::MakeScenarioWorkingSet(spec.scenario);
+    if (spec.tilt.Active()) {
+      const reliability::TiltSampler sampler(spec.tilt);
+      return RunCampaignImpl<reliability::WeightedScenarioState,
+                             ScenarioScratch>(
+          spec, stop, max_shards,
+          [&spec, &sampler, &ws](std::uint64_t /*trial*/,
+                                 util::Xoshiro256& rng,
+                                 reliability::WeightedScenarioState& acc,
+                                 ScenarioScratch& scratch) {
+            reliability::RunWeightedScenarioTrial(spec.scenario, sampler, ws,
+                                                  rng, acc, scratch);
+          },
+          [](const reliability::WeightedScenarioState& s) {
+            return reliability::WeightedScenarioStateToJson(s);
+          },
+          [](const JsonValue& v) {
+            return reliability::WeightedScenarioStateFromJson(v);
+          });
+    }
     return RunCampaignImpl<ScenarioShardState, ScenarioScratch>(
         spec, stop, max_shards,
         [&spec, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
@@ -362,6 +382,28 @@ CampaignProgress RunCampaign(const CampaignSpec& spec,
   spec.system.Validate();
   const reliability::WorkingSet ws = MakeSystemWorkingSet(spec.system);
   struct None {};
+  if (spec.split.Active()) {
+    spec.split.Validate();
+    return RunCampaignImpl<reliability::SplitTally, None>(
+        spec, stop, max_shards,
+        [&spec, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
+                     reliability::SplitTally& acc, None&) {
+          // One draw from the engine's per-trial stream seeds the whole
+          // splitting tree; the tree re-derives node streams itself.
+          const std::uint64_t root_seed = rng();
+          RunSplitTrial(spec.system, ws, spec.demand, spec.split, root_seed,
+                        acc);
+        },
+        [](const reliability::SplitTally& s) {
+          JsonValue obj = JsonValue::MakeObject();
+          obj.Set("split", reliability::SplitTallyToJson(s));
+          return obj;
+        },
+        [](const JsonValue& v) {
+          return reliability::SplitTallyFromJson(
+              RequireField(v, "split", "checkpoint split state"));
+        });
+  }
   return RunCampaignImpl<SystemShardState, None>(
       spec, stop, max_shards,
       [&spec, &ws](std::uint64_t /*trial*/, util::Xoshiro256& rng,
@@ -405,16 +447,20 @@ void AddFingerprintMeta(telemetry::Report& report,
   }
 }
 
-void AddFleetProjection(telemetry::Report& report, const FleetSpec& fleet,
-                        std::uint64_t trials_with_failure,
-                        std::uint64_t trials) {
-  if (!(fleet.devices > 0.0) || !(fleet.years > 0.0)) return;
+/// Fleet projection is enabled iff devices and years are both positive;
+/// trial_years must then also be positive.
+bool FleetEnabled(const FleetSpec& fleet) {
+  if (!(fleet.devices > 0.0) || !(fleet.years > 0.0)) return false;
   if (!(fleet.trial_years > 0.0))
     throw std::runtime_error("fleet projection: trial-years must be > 0");
-  const util::Proportion p =
-      util::WilsonInterval(trials_with_failure, trials);
-  // One trial models `trial_years` device-years; a device surviving
-  // `years` must survive years/trial_years independent trials.
+  return true;
+}
+
+/// Shared fleet.* emitter: scales a per-trial failure interval up to the
+/// fleet. One trial models `trial_years` device-years; a device surviving
+/// `years` must survive years/trial_years independent trials.
+void EmitFleetProjection(telemetry::Report& report, const FleetSpec& fleet,
+                         const util::Proportion& p) {
   const auto project = [&fleet](double prob) {
     return fleet.devices *
            (1.0 - std::pow(1.0 - prob, fleet.years / fleet.trial_years));
@@ -428,6 +474,65 @@ void AddFleetProjection(telemetry::Report& report, const FleetSpec& fleet,
   report.AddMetric("fleet.expected_failures", project(p.estimate));
   report.AddMetric("fleet.expected_failures_lo", project(p.lower));
   report.AddMetric("fleet.expected_failures_hi", project(p.upper));
+}
+
+void AddFleetProjection(telemetry::Report& report, const FleetSpec& fleet,
+                        std::uint64_t trials_with_failure,
+                        std::uint64_t trials) {
+  if (!FleetEnabled(fleet)) return;
+  util::Proportion p;
+  if (trials_with_failure == 0 && trials > 0) {
+    // Zero observed failures: the symmetric Wilson interval is the wrong
+    // shape (its upper limit is an artifact of z, not of the data). Report
+    // the exact one-sided upper bound instead.
+    p.upper = util::ZeroEventUpperBound(trials);
+  } else {
+    p = util::WilsonInterval(trials_with_failure, trials);
+  }
+  EmitFleetProjection(report, fleet, p);
+}
+
+/// Weighted (importance-sampled) fleet projection: the CI comes from the
+/// weighted estimator's actual variance, not unit-weight binomial counts.
+void AddWeightedFleetProjection(telemetry::Report& report,
+                                const FleetSpec& fleet,
+                                const reliability::TiltSpec& tilt,
+                                const reliability::WeightedTally& tally) {
+  if (!FleetEnabled(fleet)) return;
+  const reliability::TiltSampler sampler(tilt);
+  const reliability::WeightedEstimate est = reliability::EstimateWeightedRate(
+      sampler, tally, reliability::WeightedEvent::kFailure);
+  util::Proportion p;
+  if (est.trials > 0 && est.estimate <= 0.0) {
+    // No weighted failure mass observed. Per-trial values are bounded by
+    // the largest likelihood ratio, so the one-sided zero-event bound on
+    // the proposal's failure rate scales by that weight; the excluded
+    // upper-tail target mass is added as a conservative bias allowance.
+    p.upper = std::min(1.0, sampler.MaxWeight() *
+                                    util::ZeroEventUpperBound(est.trials) +
+                                sampler.TailMassAbove());
+  } else if (est.trials > 0) {
+    p = util::WilsonIntervalFromVariance(est.estimate, est.variance);
+  }
+  EmitFleetProjection(report, fleet, p);
+}
+
+/// Splitting fleet projection. Per-root contributions lie in [0, 1] (leaf
+/// weights under one root sum to exactly 1), so the unscaled zero-event
+/// bound applies when no failure leaf was seen.
+void AddSplitFleetProjection(telemetry::Report& report, const FleetSpec& fleet,
+                             const reliability::SplitSpec& split,
+                             const reliability::SplitTally& tally) {
+  if (!FleetEnabled(fleet)) return;
+  const reliability::WeightedEstimate est =
+      reliability::EstimateSplitRate(split, tally);
+  util::Proportion p;
+  if (est.trials > 0 && est.estimate <= 0.0) {
+    p.upper = util::ZeroEventUpperBound(est.trials);
+  } else if (est.trials > 0) {
+    p = util::WilsonIntervalFromVariance(est.estimate, est.variance);
+  }
+  EmitFleetProjection(report, fleet, p);
 }
 
 }  // namespace
@@ -518,24 +623,53 @@ telemetry::Report MergeCampaignCheckpoints(
   report.MetaInt("shards", static_cast<std::int64_t>(total_shards));
 
   if (mode == "reliability") {
-    ScenarioShardState total;
-    for (const SliceDoc& doc : docs)
-      total += reliability::ScenarioStateFromJson(doc.state);
-    reliability::AddScenarioCounters(report, total.counts);
-    reliability::AddTrialTelemetry(report, total.tel);
-    AddFleetProjection(report, fleet, total.counts.trials_with_failure,
-                       total.counts.trials);
+    // An active tilt in the fingerprint means every slice carries the
+    // weighted tally (the config hash guarantees slices agree on it).
+    const reliability::TiltSpec tilt =
+        reliability::TiltSpecFromFingerprint(fingerprint);
+    if (tilt.Active()) {
+      reliability::WeightedScenarioState total;
+      for (const SliceDoc& doc : docs)
+        total += reliability::WeightedScenarioStateFromJson(doc.state);
+      reliability::AddScenarioCounters(report, total.base.counts);
+      reliability::AddTrialTelemetry(report, total.base.tel);
+      reliability::AddWeightedMetrics(report, tilt, total.tally);
+      AddWeightedFleetProjection(report, fleet, tilt, total.tally);
+    } else {
+      ScenarioShardState total;
+      for (const SliceDoc& doc : docs)
+        total += reliability::ScenarioStateFromJson(doc.state);
+      reliability::AddScenarioCounters(report, total.counts);
+      reliability::AddTrialTelemetry(report, total.tel);
+      AddFleetProjection(report, fleet, total.counts.trials_with_failure,
+                         total.counts.trials);
+    }
   } else {
-    SystemShardState total;
-    for (const SliceDoc& doc : docs) total += SystemStateFromJson(doc.state);
-    const JsonValue* tck = fingerprint.Find("tck_ns");
-    if (tck == nullptr || !tck->IsNumber())
-      throw std::runtime_error(
-          "merge: system campaign fingerprint is missing 'tck_ns'");
-    AddSystemStats(report, total.stats, tck->AsReal());
-    reliability::AddTrialTelemetry(report, total.tel);
-    AddFleetProjection(report, fleet, total.stats.trials_with_failure,
-                       total.stats.trials);
+    const reliability::SplitSpec split =
+        reliability::SplitSpecFromFingerprint(fingerprint);
+    if (split.Active()) {
+      // Split campaigns report the splitting estimator only: interior and
+      // per-node system stats are biased by construction (trees oversample
+      // near-failure trajectories) and are deliberately not kept.
+      reliability::SplitTally total;
+      for (const SliceDoc& doc : docs)
+        total += reliability::SplitTallyFromJson(RequireField(
+            doc.state, "split", "checkpoint '" + doc.path + "' split state"));
+      reliability::AddSplitMetrics(report, split, total);
+      AddSplitFleetProjection(report, fleet, split, total);
+    } else {
+      SystemShardState total;
+      for (const SliceDoc& doc : docs)
+        total += SystemStateFromJson(doc.state);
+      const JsonValue* tck = fingerprint.Find("tck_ns");
+      if (tck == nullptr || !tck->IsNumber())
+        throw std::runtime_error(
+            "merge: system campaign fingerprint is missing 'tck_ns'");
+      AddSystemStats(report, total.stats, tck->AsReal());
+      reliability::AddTrialTelemetry(report, total.tel);
+      AddFleetProjection(report, fleet, total.stats.trials_with_failure,
+                         total.stats.trials);
+    }
   }
   return report;
 }

@@ -43,6 +43,7 @@
 
 #include "reliability/campaign.hpp"
 #include "reliability/monte_carlo.hpp"
+#include "reliability/variance_reduction.hpp"
 #include "sim/memory_system.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/report.hpp"
@@ -118,6 +119,18 @@ struct CampaignSpec {
   reliability::ScenarioConfig scenario;
   SystemConfig system;
   timing::Trace demand;
+  /// Importance sampling for kReliability mode: an active tilt swaps the
+  /// fixed faults_per_trial for the tilted fault-count proposal and makes
+  /// the checkpoint state carry the exact weighted tally. The identity
+  /// tilt takes the pre-existing unweighted path verbatim (bitwise).
+  /// Tilt parameters must appear in `fingerprint` (AddTiltFingerprint) so
+  /// mismatched tilts refuse to resume/merge via the config hash.
+  reliability::TiltSpec tilt;
+  /// Multilevel splitting for kSystem mode: an active split runs each
+  /// engine trial as a splitting tree (sim/splitting.hpp) and the state
+  /// becomes the exact SplitTally. Must appear in `fingerprint` via
+  /// AddSplitFingerprint, same refusal contract as tilt.
+  reliability::SplitSpec split;
   std::uint64_t trials = 0;
   ShardSlice slice;
   /// Flush a checkpoint every this many completed shards (plus always one

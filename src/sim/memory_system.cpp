@@ -121,7 +121,8 @@ void MemorySystem::EmitMaintenance(std::uint64_t cycle, timing::Op op,
   maintenance_.push_back(req);
 }
 
-void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
+void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel,
+                       DemandReadObserver* observer) {
   EventQueue queue;
   if (config_.faults_per_mcycle > 0.0)
     queue.Push(NextFaultGap(rng_), EventKind::kFaultArrival);
@@ -137,11 +138,12 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
 
   bool saw_sdc = false;
   bool saw_due = false;
+  bool observer_abort = false;
   std::uint64_t first_sdc_cycle = horizon_;
   std::vector<unsigned> step_rows;
 
   // ---- functional pass: one event queue interleaves all four streams ----
-  while (!queue.Empty()) {
+  while (!observer_abort && !queue.Empty()) {
     const Event e = queue.Pop();
     // Pop order is non-decreasing in cycle: everything left is also beyond
     // the horizon, including the self-rescheduling fault/scrub chains.
@@ -223,6 +225,9 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
             ++stats.demand_writebacks;
             EmitMaintenance(e.cycle, timing::Op::kWrite, addr);
           }
+          if (observer != nullptr &&
+              !observer->OnDemandRead(outcome, rng_))
+            observer_abort = true;
         } else {
           // Demand write: the host re-writes the line's current contents
           // (ground truth is unchanged; transient damage in the written
@@ -233,6 +238,15 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel) {
         break;
       }
     }
+  }
+
+  // Observer-driven runs are functional-only re-simulations: the splitting
+  // tree re-runs the functional pass many times per root trial and reads
+  // everything it needs out of the observer, so the timing pass and stats
+  // finalization would be pure waste (and partial stats would be biased).
+  if (observer != nullptr) {
+    maintenance_.clear();
+    return;
   }
 
   // ---- timing pass: demand + generated maintenance through the DDR4

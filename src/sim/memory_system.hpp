@@ -157,6 +157,24 @@ struct SystemStats {
   friend bool operator==(const SystemStats&, const SystemStats&) = default;
 };
 
+/// Hook into the functional pass's demand-read stream — the multilevel
+/// splitting runner's window into a trial's "distance to failure". Called
+/// after each demand read is classified, with the trial's RNG so the
+/// observer can reseed the stream in place (the splitting re-simulation
+/// trick). Returning false aborts the functional pass immediately.
+///
+/// Observer-driven runs are functional-only re-simulations: the timing
+/// pass and the end-of-trial stats finalization are skipped, and `stats`
+/// holds only partial functional counters the caller should discard —
+/// everything a splitting tree needs lives in the observer itself.
+class DemandReadObserver {
+ public:
+  virtual ~DemandReadObserver() = default;
+  /// `outcome` is the classified demand read; return false to abort.
+  virtual bool OnDemandRead(reliability::Outcome outcome,
+                            util::Xoshiro256& rng) = 0;
+};
+
 /// One trial: a fresh rank + scheme + ground truth, the four event streams,
 /// and the timing pass over the merged command stream.
 class MemorySystem {
@@ -169,7 +187,11 @@ class MemorySystem {
   /// Runs the trial to the horizon. Adds this trial into `stats` (one
   /// trial's worth) and the codec/injection/corrected-units telemetry into
   /// `tel`. Draws all randomness from the constructor's RNG stream.
-  void Run(SystemStats& stats, reliability::TrialTelemetry& tel);
+  /// A non-null `observer` turns the run into a functional-only
+  /// re-simulation (see DemandReadObserver); the default preserves the
+  /// original behaviour bitwise.
+  void Run(SystemStats& stats, reliability::TrialTelemetry& tel,
+           DemandReadObserver* observer = nullptr);
 
   std::uint64_t horizon() const noexcept { return horizon_; }
 

@@ -27,6 +27,7 @@
 #include "reliability/analytic.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "reliability/telemetry.hpp"
+#include "reliability/variance_reduction.hpp"
 #include "util/rng.hpp"
 
 namespace pair_ecc::reliability {
@@ -111,6 +112,125 @@ TEST(AnalyticCrosscheck, OccupancyModelAgreesWithDirectSimulation) {
   const double observed = static_cast<double>(hits) / kRounds;
   const double sigma = std::sqrt(expected * (1.0 - expected) / kRounds);
   EXPECT_NEAR(observed, expected, 4.0 * sigma);
+}
+
+// ---- importance-sampled tail cross-checks --------------------------------
+//
+// At realistic fault rates (lambda ~ 1e-5 faults per trial window) the
+// per-trial failure probability sits near 1e-12 — naive Monte-Carlo would
+// need ~1e13 trials to see a single failure. The forced-fault-count tilt
+// spends every trial inside the window that carries the tail mass and
+// reweights by the exact Poisson likelihood ratio, so a few thousand
+// trials pin the same analytic occupancy answer the unaccelerated tests
+// pin at p ~ 0.5. These are the acceptance tests for the rare-event layer:
+// the IS estimate must agree with the closed form within 4 sigma AND
+// deliver >= 100x naive-equivalent acceleration.
+
+/// P(some bin >= 2 | n faults, n ~ Poisson(lambda) restricted to
+/// [min_f, max_f]) — the window-restricted analytic tail that an active
+/// tilt estimates (TailMassAbove/Below report the excluded mass).
+double WindowedOccupancyTail(double lambda, unsigned min_f, unsigned max_f,
+                             unsigned bins) {
+  double tail = 0.0;
+  double pmf = std::exp(-lambda);  // pi_lambda(0)
+  for (unsigned n = 1; n <= max_f; ++n) {
+    pmf *= lambda / static_cast<double>(n);
+    if (n >= min_f) tail += pmf * ProbMaxOccupancyAtLeast(bins, n, 2);
+  }
+  return tail;
+}
+
+TiltSpec RareTailTilt() {
+  TiltSpec tilt;
+  tilt.kind = TiltKind::kForced;
+  tilt.lambda = 1.6e-5;  // realistic per-trial fault rate -> p ~ 1e-12
+  tilt.proposal_lambda = 1.5;
+  tilt.min_faults = 2;  // 0/1 faults cannot fail under single-bit-only mix
+  tilt.max_faults = 8;
+  return tilt;
+}
+
+TEST(AnalyticCrosscheck, ImportanceSampledIeccTailAt1e12) {
+  ScenarioConfig cfg = CrosscheckConfig();
+  cfg.threads = 4;  // results are thread-count invariant
+  const TiltSpec tilt = RareTailTilt();
+  constexpr unsigned kIsTrials = 3000;
+
+  const WeightedScenarioState state =
+      RunWeightedMonteCarlo(cfg, tilt, kIsTrials);
+  const TiltSampler sampler(tilt);
+  const WeightedEstimate est =
+      EstimateWeightedRate(sampler, state.tally, WeightedEvent::kFailure);
+
+  const double analytic = WindowedOccupancyTail(
+      tilt.lambda, tilt.min_faults, tilt.max_faults, /*bins=*/128);
+  ASSERT_GT(analytic, 1e-13);
+  ASSERT_LT(analytic, 1e-11);
+
+  ASSERT_GT(est.estimate, 0.0) << "tilt produced no weighted failures";
+  // 4 sigma of the run's own variance estimate plus 1% model slack (two
+  // faults cancelling on one bit, as in the unaccelerated cross-check).
+  EXPECT_NEAR(est.estimate, analytic, 4.0 * est.std_error + 0.01 * analytic)
+      << "IS " << est.estimate << " +- " << est.std_error << " vs analytic "
+      << analytic;
+
+  // Acceptance criterion: resolving a ~1e-12 probability to this variance
+  // naively would take naive_equiv_trials ~ 1/p trials; the tilt must buy
+  // at least two orders of magnitude over the trials actually spent.
+  EXPECT_GE(est.acceleration, 100.0)
+      << "naive-equivalent " << est.naive_equiv_trials << " for "
+      << est.trials << " trials";
+  EXPECT_GT(est.naive_equiv_trials, 1e9);
+
+  // The window really carries the tail: everything excluded is the
+  // cannot-fail 0/1-fault mass plus a negligible >8-fault remainder. The
+  // true >8 mass is ~1e-49, but tail_mass_above is computed as
+  // 1 - below - window, so cancellation leaves ~1 ulp of 1.0 (~1e-16).
+  EXPECT_NEAR(est.tail_mass_below, std::exp(-tilt.lambda) *
+                                       (1.0 + tilt.lambda),
+              1e-9);
+  EXPECT_LT(est.tail_mass_above, 1e-15);
+}
+
+TEST(AnalyticCrosscheck, ImportanceSampledSecDedTailMatchesBeatOccupancy) {
+  // Rank SECDED forms one (72,64) codeword per bus beat: 8 bits from each
+  // of 8 data devices + 8 check bits in the ECC device. With no on-die
+  // spare region every one of the 9 x 2048 row bits belongs to exactly one
+  // of row_bits/8 = 256 beats, faults land uniformly, and a trial fails
+  // iff some beat absorbs >= 2 faults (SEC-DED corrects singles; doubles
+  // are DUEs, triples miscorrect — either way a failure).
+  ScenarioConfig cfg = CrosscheckConfig();
+  cfg.scheme = ecc::SchemeKind::kSecDed;
+  cfg.geometry.device.spare_row_bits = 0;
+  cfg.geometry.ecc_devices = 1;
+  cfg.seed = 0x5EC0ED;
+  cfg.threads = 4;
+  const TiltSpec tilt = RareTailTilt();
+  constexpr unsigned kIsTrials = 3000;
+
+  const WeightedScenarioState state =
+      RunWeightedMonteCarlo(cfg, tilt, kIsTrials);
+  const TiltSampler sampler(tilt);
+  const WeightedEstimate est =
+      EstimateWeightedRate(sampler, state.tally, WeightedEvent::kFailure);
+
+  const unsigned bins = cfg.geometry.device.row_bits / 8;  // 256 beats
+  const double analytic = WindowedOccupancyTail(
+      tilt.lambda, tilt.min_faults, tilt.max_faults, bins);
+
+  ASSERT_GT(est.estimate, 0.0) << "tilt produced no weighted failures";
+  EXPECT_NEAR(est.estimate, analytic, 4.0 * est.std_error + 0.01 * analytic)
+      << "IS " << est.estimate << " +- " << est.std_error << " vs analytic "
+      << analytic;
+  EXPECT_GE(est.acceleration, 100.0);
+
+  // Double-fault beats are detected, not miscorrected, by SEC-DED — the
+  // dominant n=2 class must therefore be (almost) all DUE.
+  const WeightedEstimate sdc =
+      EstimateWeightedRate(sampler, state.tally, WeightedEvent::kSdc);
+  const WeightedEstimate due =
+      EstimateWeightedRate(sampler, state.tally, WeightedEvent::kDue);
+  EXPECT_LT(sdc.estimate, 0.1 * due.estimate);
 }
 
 }  // namespace

@@ -16,11 +16,13 @@
 #include "reliability/campaign.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "reliability/telemetry.hpp"
+#include "reliability/variance_reduction.hpp"
 #include "sim/campaign.hpp"
 #include "sim/memory_system.hpp"
 #include "telemetry/checkpoint.hpp"
 #include "telemetry/json.hpp"
 #include "util/atomic_file.hpp"
+#include "util/stats.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -438,6 +440,230 @@ TEST(Campaign, FleetProjectionMetrics) {
   EXPECT_LE(expected->AsReal(), hi->AsReal());
   EXPECT_GE(lo->AsReal(), 0.0);
   EXPECT_LE(hi->AsReal(), fleet.devices);
+}
+
+// ------------------------------------ variance-reduction campaigns
+
+reliability::TiltSpec CampaignTilt() {
+  reliability::TiltSpec tilt;
+  tilt.kind = reliability::TiltKind::kForced;
+  tilt.lambda = 1.0;
+  tilt.proposal_lambda = 2.0;
+  tilt.min_faults = 2;
+  tilt.max_faults = 6;
+  return tilt;
+}
+
+sim::CampaignSpec TiltedSpec(const ScenarioConfig& cfg, unsigned trials,
+                             const std::string& path,
+                             sim::ShardSlice slice = {}) {
+  sim::CampaignSpec spec = ScenarioSpec(cfg, trials, path, slice);
+  spec.tilt = CampaignTilt();
+  reliability::AddTiltFingerprint(spec.fingerprint, spec.tilt);
+  return spec;
+}
+
+TEST(Campaign, TiltedInterruptAndResumeIsByteIdentical) {
+  const ScenarioConfig cfg = SmallScenario();
+  const unsigned trials = 64;
+
+  const std::string straight = TempPath("is_straight.json");
+  ASSERT_TRUE(sim::RunCampaign(TiltedSpec(cfg, trials, straight)).complete);
+
+  // Interrupt after one shard on one worker, resume on two: the weighted
+  // tally rides the checkpoint, so the split must not show in the bytes.
+  const std::string stopped = TempPath("is_stopped.json");
+  const sim::CampaignProgress part = sim::RunCampaign(
+      TiltedSpec(SmallScenario(/*threads=*/1), trials, stopped), nullptr,
+      /*max_shards=*/1);
+  EXPECT_FALSE(part.complete);
+  const sim::CampaignProgress rest =
+      sim::RunCampaign(TiltedSpec(cfg, trials, stopped));
+  EXPECT_TRUE(rest.complete);
+  EXPECT_TRUE(rest.resumed);
+  EXPECT_EQ(ReadAll(stopped), ReadAll(straight));
+
+  const telemetry::Report a = sim::MergeCampaignCheckpoints({straight});
+  const telemetry::Report b = sim::MergeCampaignCheckpoints({stopped});
+  EXPECT_EQ(a.ToJson(false).Dump(), b.ToJson(false).Dump());
+}
+
+TEST(Campaign, TiltedTwoSliceMergeCarriesWeightedMetrics) {
+  const ScenarioConfig cfg = SmallScenario();
+  const unsigned trials = 64;
+
+  const std::string whole = TempPath("is_whole.json");
+  ASSERT_TRUE(sim::RunCampaign(TiltedSpec(cfg, trials, whole)).complete);
+  const std::string s0 = TempPath("is_s0.json");
+  const std::string s1 = TempPath("is_s1.json");
+  ASSERT_TRUE(
+      sim::RunCampaign(TiltedSpec(cfg, trials, s0, {0, 2})).complete);
+  ASSERT_TRUE(
+      sim::RunCampaign(TiltedSpec(cfg, trials, s1, {1, 2})).complete);
+
+  const telemetry::Report merged = sim::MergeCampaignCheckpoints({s0, s1});
+  const telemetry::Report single = sim::MergeCampaignCheckpoints({whole});
+  EXPECT_EQ(merged.ToJson(false).Dump(), single.ToJson(false).Dump());
+
+  // The merged report must carry the importance-sampling diagnostics, and
+  // they must be self-consistent against the weighted tally it merged.
+  const JsonValue json = merged.ToJson(false);
+  const JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* p = metrics->Find("is.p_failure");
+  const JsonValue* ess = metrics->Find("is.ess");
+  const JsonValue* accel = metrics->Find("is.acceleration");
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(ess, nullptr);
+  ASSERT_NE(accel, nullptr);
+  EXPECT_GT(p->AsReal(), 0.0);
+  EXPECT_GT(ess->AsReal(), 0.0);
+  EXPECT_LE(ess->AsReal(), static_cast<double>(trials) + 1e-9);
+
+  const reliability::WeightedScenarioState direct =
+      reliability::RunWeightedMonteCarlo(cfg, CampaignTilt(), trials);
+  const reliability::WeightedEstimate est = reliability::EstimateWeightedRate(
+      reliability::TiltSampler(CampaignTilt()), direct.tally,
+      reliability::WeightedEvent::kFailure);
+  EXPECT_DOUBLE_EQ(p->AsReal(), est.estimate);
+}
+
+TEST(Campaign, TiltMismatchRefusesResume) {
+  const ScenarioConfig cfg = SmallScenario();
+  const std::string path = TempPath("is_mismatch.json");
+  sim::RunCampaign(TiltedSpec(cfg, 64, path), nullptr, /*max_shards=*/1);
+
+  // Same scenario, different proposal: the tilt is part of the config
+  // fingerprint, so resuming must refuse rather than mix estimators.
+  sim::CampaignSpec other = ScenarioSpec(cfg, 64, path);
+  other.tilt = CampaignTilt();
+  other.tilt.proposal_lambda = 3.0;
+  reliability::AddTiltFingerprint(other.fingerprint, other.tilt);
+  try {
+    sim::RunCampaign(other);
+    FAIL() << "resumed across a tilt change";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("config hash mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // An untilted spec against the tilted checkpoint must refuse too.
+  try {
+    sim::RunCampaign(ScenarioSpec(cfg, 64, path));
+    FAIL() << "resumed a tilted campaign without the tilt";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("config hash mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Campaign, SplitSystemSliceMergeIsBitwise) {
+  sim::CampaignSpec spec;
+  spec.mode = sim::CampaignMode::kSystem;
+  spec.system.seed = 9;
+  spec.system.threads = 2;
+  spec.system.faults_per_mcycle = 200.0;
+  workload::WorkloadConfig wl;
+  wl.num_requests = 50;
+  wl.intensity = 0.05;
+  wl.seed = spec.system.seed;
+  spec.demand = workload::Generate(wl);
+  spec.split.thresholds = {1, 2};
+  spec.split.replicas = 3;
+  spec.trials = 48;
+  spec.checkpoint_every = 1;
+  JsonValue fp = JsonValue::MakeObject();
+  fp.Set("mode", JsonValue("system"));
+  fp.Set("seed", JsonValue(spec.system.seed));
+  fp.Set("trials", JsonValue(spec.trials));
+  reliability::AddSplitFingerprint(fp, spec.split);
+  spec.fingerprint = fp;
+
+  spec.checkpoint_path = TempPath("split_whole.json");
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+  const std::string whole = spec.checkpoint_path;
+
+  const std::string s0 = TempPath("split_s0.json");
+  const std::string s1 = TempPath("split_s1.json");
+  spec.checkpoint_path = s0;
+  spec.slice = {0, 2};
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+  spec.checkpoint_path = s1;
+  spec.slice = {1, 2};
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+
+  const telemetry::Report merged = sim::MergeCampaignCheckpoints({s0, s1});
+  const telemetry::Report single = sim::MergeCampaignCheckpoints({whole});
+  EXPECT_EQ(merged.ToJson(false).Dump(), single.ToJson(false).Dump());
+
+  EXPECT_EQ(merged.counters().Get("split.root_trials"), spec.trials);
+  EXPECT_GT(merged.counters().Get("split.nodes"), spec.trials);
+  const JsonValue json = merged.ToJson(false);
+  const JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->Find("split.p_failure"), nullptr);
+}
+
+TEST(Campaign, ZeroFailureFleetUsesOneSidedBound) {
+  // Zero injected faults -> zero failures: the fleet CI must be the exact
+  // one-sided zero-event bound, not a Wilson interval around 0.
+  ScenarioConfig cfg = SmallScenario();
+  cfg.faults_per_trial = 0;
+  const unsigned trials = 64;
+  const std::string path = TempPath("zero_fleet.json");
+  sim::CampaignSpec spec = ScenarioSpec(cfg, trials, path);
+  spec.fingerprint.Set("faults_per_trial", JsonValue(cfg.faults_per_trial));
+  ASSERT_TRUE(sim::RunCampaign(spec).complete);
+
+  sim::FleetSpec fleet;
+  fleet.devices = 1e6;
+  fleet.years = 5.0;
+  fleet.trial_years = 5.0;
+  const telemetry::Report report = sim::MergeCampaignCheckpoints({path}, fleet);
+  EXPECT_EQ(report.counters().Get("outcome.trials_with_failure"), 0u);
+
+  const JsonValue json = report.ToJson(false);
+  const JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* p = metrics->Find("fleet.p_trial_failure");
+  const JsonValue* lo = metrics->Find("fleet.p_trial_failure_lo");
+  const JsonValue* hi = metrics->Find("fleet.p_trial_failure_hi");
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  EXPECT_EQ(p->AsReal(), 0.0);
+  EXPECT_EQ(lo->AsReal(), 0.0);
+  EXPECT_DOUBLE_EQ(hi->AsReal(),
+                   util::ZeroEventUpperBound(trials));  // 1 - 0.05^(1/64)
+}
+
+TEST(Campaign, WeightedFleetIntervalBracketsEstimate) {
+  const ScenarioConfig cfg = SmallScenario();
+  const std::string path = TempPath("is_fleet.json");
+  ASSERT_TRUE(sim::RunCampaign(TiltedSpec(cfg, 64, path)).complete);
+
+  sim::FleetSpec fleet;
+  fleet.devices = 1e5;
+  fleet.years = 5.0;
+  fleet.trial_years = 5.0;
+  const telemetry::Report report = sim::MergeCampaignCheckpoints({path}, fleet);
+  const JsonValue json = report.ToJson(false);
+  const JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* p = metrics->Find("fleet.p_trial_failure");
+  const JsonValue* lo = metrics->Find("fleet.p_trial_failure_lo");
+  const JsonValue* hi = metrics->Find("fleet.p_trial_failure_hi");
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  // The variance-backed Wilson interval must bracket the weighted estimate
+  // and match the is.* metric the same report carries.
+  EXPECT_LE(lo->AsReal(), p->AsReal());
+  EXPECT_LE(p->AsReal(), hi->AsReal());
+  EXPECT_GT(p->AsReal(), 0.0);
+  EXPECT_DOUBLE_EQ(p->AsReal(), metrics->Find("is.p_failure")->AsReal());
 }
 
 }  // namespace

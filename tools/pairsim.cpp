@@ -4,7 +4,12 @@
 //       Print every scheme's code configuration and overheads.
 //   pairsim reliability [--scheme S] [--mix M] [--faults N] [--trials T]
 //                       [--seed X] [--threads W] [--json FILE]
-//       Single-shot Monte-Carlo outcome breakdown.
+//                       [--tilt identity|rate|forced] [--tilt-lambda L]
+//                       [--tilt-proposal Q] [--tilt-min A] [--tilt-max B]
+//       Single-shot Monte-Carlo outcome breakdown. An active --tilt swaps
+//       the fixed fault count for an importance-sampled Poisson proposal
+//       (reliability/variance_reduction.hpp) and reports the weighted
+//       estimate, ESS, and acceleration diagnostics.
 //   pairsim lifetime    [--scheme S] [--epochs E] [--rate R] [--scrub K]
 //                       [--trials T] [--seed X] [--threads W] [--json FILE]
 //       Fault accumulation over a deployment window with patrol scrubbing.
@@ -22,7 +27,13 @@
 //   pairsim campaign run --checkpoint FILE [--mode reliability|system]
 //                        [--shard i/N] [--checkpoint-every K]
 //                        [--max-shards M] [--json FILE] [mode flags...]
-//       Crash-safe resumable campaign: accumulator state is periodically
+//       Crash-safe resumable campaign. Reliability campaigns accept the
+//       same --tilt* flags as `pairsim reliability` (tilt parameters join
+//       the config fingerprint, so mismatched tilts refuse to resume or
+//       merge); system campaigns accept --split-levels "1,2,4" and
+//       --split-replicas R for multilevel splitting over the cumulative
+//       non-clean-demand-read level function (sim/splitting.hpp).
+//       Accumulator state is periodically
 //       persisted to a checksummed checkpoint (atomic replace), SIGINT/
 //       SIGTERM drain the in-flight shard and exit 3 ("interrupted,
 //       resumable" — rerun the same command to resume), and --shard i/N
@@ -67,6 +78,7 @@
 #include "reliability/lifetime.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "reliability/telemetry.hpp"
+#include "reliability/variance_reduction.hpp"
 #include "sim/campaign.hpp"
 #include "sim/memory_system.hpp"
 #include "telemetry/report.hpp"
@@ -268,6 +280,89 @@ int CmdCodes() {
   return 0;
 }
 
+/// Tilt flags shared by `reliability` and `campaign run --mode reliability`.
+/// Every flag is consumed even for the identity tilt, so CheckAllConsumed
+/// stays a pure typo check. --tilt-proposal defaults to --tilt-lambda (pure
+/// window conditioning); --tilt-min defaults to 1 for the forced kind.
+reliability::TiltSpec ParseTiltFlags(Args& args) {
+  reliability::TiltSpec tilt;
+  tilt.kind = reliability::TiltKindFromString(args.Get("tilt", "identity"));
+  const bool forced = tilt.kind == reliability::TiltKind::kForced;
+  tilt.lambda = args.GetDouble("tilt-lambda", 1.0);
+  tilt.proposal_lambda = args.GetDouble("tilt-proposal", tilt.lambda);
+  tilt.min_faults = args.GetUnsigned("tilt-min", forced ? 1U : 0U);
+  tilt.max_faults = args.GetUnsigned("tilt-max", reliability::kMaxTiltFaults);
+  tilt.Validate();
+  return tilt;
+}
+
+/// `pairsim reliability` with an active tilt: importance-sampled run with
+/// weighted estimators alongside the raw (proposal-measure) breakdown.
+int RunTiltedReliability(const reliability::ScenarioConfig& cfg,
+                         const reliability::TiltSpec& tilt, unsigned trials,
+                         const std::string& json_path) {
+  const auto start = std::chrono::steady_clock::now();
+  reliability::ScenarioTelemetry tel;
+  const reliability::WeightedScenarioState state =
+      reliability::RunWeightedMonteCarlo(cfg, tilt, trials, &tel);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::cout << "threads "
+            << reliability::TrialEngine::ResolveThreads(cfg.threads) << ", "
+            << trials << " tilted trials in "
+            << util::Table::Fixed(elapsed.count(), 2) << " s ("
+            << util::Table::Fixed(
+                   static_cast<double>(trials) /
+                       std::max(elapsed.count(), 1e-9), 1)
+            << " trials/sec)\n";
+
+  const reliability::TiltSampler sampler(tilt);
+  const auto failure = reliability::EstimateWeightedRate(
+      sampler, state.tally, reliability::WeightedEvent::kFailure);
+  const auto sdc = reliability::EstimateWeightedRate(
+      sampler, state.tally, reliability::WeightedEvent::kSdc);
+  const auto due = reliability::EstimateWeightedRate(
+      sampler, state.tally, reliability::WeightedEvent::kDue);
+
+  util::Table t({"metric", "value"});
+  t.AddRow({"tilt", std::string(reliability::ToString(tilt.kind)) +
+                        ", lambda " + util::Table::Sci(tilt.lambda) +
+                        " -> " + util::Table::Sci(tilt.proposal_lambda) +
+                        ", window [" + std::to_string(tilt.min_faults) +
+                        ", " + std::to_string(tilt.max_faults) + "]"});
+  t.AddRow({"P(failure)/trial", util::Table::Sci(failure.estimate) + " +/- " +
+                                    util::Table::Sci(failure.std_error)});
+  t.AddRow({"P(SDC)/trial", util::Table::Sci(sdc.estimate) + " +/- " +
+                                util::Table::Sci(sdc.std_error)});
+  t.AddRow({"P(DUE)/trial", util::Table::Sci(due.estimate) + " +/- " +
+                                util::Table::Sci(due.std_error)});
+  t.AddRow({"effective sample size", util::Table::Fixed(failure.ess, 1)});
+  t.AddRow({"relative variance",
+            util::Table::Sci(failure.relative_variance)});
+  t.AddRow({"naive-equivalent trials",
+            util::Table::Sci(failure.naive_equiv_trials)});
+  t.AddRow({"acceleration", util::Table::Sci(failure.acceleration)});
+  t.AddRow({"tail mass below / above",
+            util::Table::Sci(failure.tail_mass_below) + " / " +
+                util::Table::Sci(failure.tail_mass_above)});
+  t.Print(std::cout);
+
+  if (!json_path.empty()) {
+    auto report =
+        reliability::BuildScenarioReport(cfg, trials, state.base.counts, tel);
+    report.MetaString("tilt", reliability::ToString(tilt.kind));
+    report.MetaReal("tilt_lambda", tilt.lambda);
+    report.MetaReal("tilt_proposal", tilt.proposal_lambda);
+    report.MetaInt("tilt_min", tilt.min_faults);
+    report.MetaInt("tilt_max", tilt.max_faults);
+    reliability::AddWeightedMetrics(report, tilt, state.tally);
+    if (!telemetry::WriteReportFile(report, json_path))
+      throw std::runtime_error("cannot write JSON report to " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
+  return 0;
+}
+
 int CmdReliability(Args& args) {
   reliability::ScenarioConfig cfg;
   cfg.scheme = ParseScheme(args.Get("scheme", "pair4"));
@@ -275,9 +370,14 @@ int CmdReliability(Args& args) {
   cfg.faults_per_trial = args.GetUnsigned("faults", 2);
   cfg.seed = args.GetU64("seed", 1);
   cfg.threads = args.GetUnsigned("threads", 0);
+  const reliability::TiltSpec tilt = ParseTiltFlags(args);
   const unsigned trials = args.GetUnsigned("trials", 500);
   const std::string json_path = args.Get("json", "");
   args.CheckAllConsumed();
+
+  // The identity tilt must be byte-identical to omitting the flags, so it
+  // takes the pre-existing unweighted path below verbatim.
+  if (tilt.Active()) return RunTiltedReliability(cfg, tilt, trials, json_path);
 
   const auto start = std::chrono::steady_clock::now();
   reliability::ScenarioTelemetry tel;
@@ -549,6 +649,22 @@ sim::FleetSpec ParseFleetFlags(Args& args) {
 
 void PrintCampaignReportSummary(const telemetry::Report& report) {
   const auto& c = report.counters();
+  const telemetry::JsonValue json = report.ToJson(/*include_timing=*/false);
+  const telemetry::JsonValue* metrics = json.Find("metrics");
+  if (c.Get("split.root_trials") != 0) {
+    // Splitting campaign: interior nodes are partial re-simulations, so the
+    // weighted split.* estimate is the only meaningful failure rate.
+    std::cout << "campaign totals: " << c.Get("split.root_trials")
+              << " root trials over " << c.Get("split.nodes")
+              << " simulated nodes (P(failure)/trial = "
+              << util::Table::Sci(
+                     metrics->Find("split.p_failure")->AsReal())
+              << " +/- "
+              << util::Table::Sci(
+                     metrics->Find("split.p_failure_std_error")->AsReal())
+              << ")\n";
+    return;
+  }
   const bool system = c.Get("system.trials") != 0 || c.Get("trials") == 0;
   const std::uint64_t trials =
       system ? c.Get("system.trials") : c.Get("trials");
@@ -562,6 +678,16 @@ void PrintCampaignReportSummary(const telemetry::Report& report) {
                                   static_cast<double>(trials))
               << ")";
   std::cout << "\n";
+  const telemetry::JsonValue* is_p =
+      metrics == nullptr ? nullptr : metrics->Find("is.p_failure");
+  if (is_p != nullptr)
+    // Tilted campaign: the raw counts above live in the proposal measure;
+    // the importance-sampled estimate is the physical one.
+    std::cout << "importance-sampled P(failure)/trial = "
+              << util::Table::Sci(is_p->AsReal()) << " +/- "
+              << util::Table::Sci(
+                     metrics->Find("is.p_failure_std_error")->AsReal())
+              << "\n";
 }
 
 int CmdCampaignRun(Args& args) {
@@ -597,6 +723,10 @@ int CmdCampaignRun(Args& args) {
     fp.Set("lines_per_row", telemetry::JsonValue(cfg.lines_per_row));
     fp.Set("seed", telemetry::JsonValue(cfg.seed));
     fp.Set("trials", telemetry::JsonValue(trials));
+    spec.tilt = ParseTiltFlags(args);
+    // Tilt parameters are campaign identity: AddTiltFingerprint is a no-op
+    // for the identity tilt, so untilted config hashes are unchanged.
+    reliability::AddTiltFingerprint(fp, spec.tilt);
   } else {
     SystemFlags f = ParseSystemFlags(args);
     trials = ResolveTrials(args.GetUnsigned("trials", 200));
@@ -642,6 +772,18 @@ int CmdCampaignRun(Args& args) {
       fp.Set("read_fraction", telemetry::JsonValue(f.wl.read_fraction));
       fp.Set("requests", telemetry::JsonValue(f.wl.num_requests));
       fp.Set("intensity", telemetry::JsonValue(f.wl.intensity));
+    }
+    const std::string split_levels = args.Get("split-levels", "");
+    const std::string split_replicas = args.Get("split-replicas", "");
+    if (!split_levels.empty()) {
+      spec.split.thresholds = reliability::ParseSplitLevels(split_levels);
+      if (!split_replicas.empty())
+        spec.split.replicas = args.GetUnsigned("split-replicas", 4);
+      spec.split.Validate();
+      reliability::AddSplitFingerprint(fp, spec.split);
+    } else if (!split_replicas.empty()) {
+      throw std::runtime_error(
+          "flag --split-replicas requires --split-levels");
     }
   }
   args.CheckAllConsumed();
@@ -734,6 +876,8 @@ int Usage() {
          "  pairsim codes\n"
          "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
          "                      [--threads 8] [--json out.json]\n"
+         "                      [--tilt identity|rate|forced --tilt-lambda L\n"
+         "                      --tilt-proposal Q --tilt-min A --tilt-max B]\n"
          "  pairsim lifetime --scheme pair4 --epochs 50 --rate 0.1 --scrub 8\n"
          "                   [--threads 8] [--json out.json]\n"
          "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n"
@@ -745,7 +889,9 @@ int Usage() {
          "reliability|system]\n"
          "                 [--shard i/N] [--checkpoint-every 4] "
          "[--max-shards M]\n"
-         "                 [--json out.json] [mode flags as above]\n"
+         "                 [--json out.json] [mode flags as above;\n"
+         "                 reliability adds --tilt*, system adds\n"
+         "                 --split-levels \"1,2,4\" --split-replicas 4]\n"
          "  pairsim campaign merge [--json out.json] [--fleet-devices D\n"
          "                 --fleet-years Y [--trial-years 5]] ck0.json "
          "ck1.json...\n"
