@@ -12,6 +12,7 @@
 
 #include "dram/rank.hpp"
 #include "timing/controller.hpp"
+#include "timing/presets.hpp"
 #include "workload/generator.hpp"
 
 using namespace pair_ecc;
@@ -98,6 +99,53 @@ int main() {
                   util::Table::Fixed(gm / xed_gm, 3)});
   }
   report.Emit("geomean", avg_t);
+
+  // Geometry sweep: the write-heavy mix (where the schemes separate most)
+  // replayed on the DDR5-4800 and HBM3 presets. BL16 folds the
+  // conventional codeword into one access, so IECC's RMW penalty is a
+  // DDR4 artifact; PAIR's normalised performance is geometry-stable.
+  util::Table geo_t({"geometry", "scheme", "norm. perf", "avg rd lat (cyc)",
+                     "bus util"});
+  for (const auto preset_kind :
+       {timing::GeometryPreset::kDdr4_3200, timing::GeometryPreset::kDdr5_4800,
+        timing::GeometryPreset::kHbm3}) {
+    const timing::SystemPreset preset = timing::MakePreset(preset_kind);
+    workload::WorkloadConfig cfg;
+    cfg.pattern = workload::Pattern::kHotspot;
+    cfg.read_fraction = 0.3;
+    cfg.intensity = 0.15;
+    cfg.num_requests = 30000;
+    cfg.banks = preset.timing.banks;
+    cfg.seed = bench::kBenchSeed;
+
+    double baseline_cycles = 0.0;
+    for (const auto kind :
+         {ecc::SchemeKind::kNoEcc, ecc::SchemeKind::kIecc,
+          ecc::SchemeKind::kXed, ecc::SchemeKind::kPair4}) {
+      dram::RankGeometry rg = preset.geometry;
+      dram::Rank rank(rg);
+      auto scheme = ecc::MakeScheme(kind, rank);
+      timing::Controller ctrl(
+          preset.timing,
+          timing::SchemeTiming::FromPerf(scheme->Perf(), preset.timing));
+      auto trace = workload::Generate(cfg);
+      const auto stats = ctrl.Run(trace);
+      if (!ctrl.checker().violations().empty()) {
+        std::cerr << "protocol violation: "
+                  << ctrl.checker().violations().front() << "\n";
+        return 1;
+      }
+      if (kind == ecc::SchemeKind::kNoEcc)
+        baseline_cycles = static_cast<double>(stats.cycles);
+      geo_t.AddRow({timing::ToString(preset.kind), ecc::ToString(kind),
+                    util::Table::Fixed(
+                        baseline_cycles / static_cast<double>(stats.cycles), 3),
+                    util::Table::Fixed(stats.avg_read_latency, 1),
+                    util::Table::Fixed(stats.bus_utilization, 3)});
+    }
+  }
+  std::cout << "-- write-heavy hotspot across geometry presets --\n";
+  report.Emit("geometry_sweep", geo_t);
 
   std::cout << "Shape check: PAIR-4 ~= DUO overall (PAIR trades DUO's burst\n"
                "extension for in-DRAM decode latency) and clearly ahead of\n"

@@ -11,6 +11,7 @@
 #include "faults/injector.hpp"
 #include "reliability/outcome.hpp"
 #include "timing/controller.hpp"
+#include "timing/presets.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 
@@ -70,27 +71,34 @@ int main() {
   bench::BenchReport report("T4", "DDR4 (BL8) vs DDR5 (BL16) design point");
   const unsigned kTrials = report.Trials(200);
 
-  const dram::RankGeometry ddr4;
-  dram::RankGeometry ddr5;
-  ddr5.device = dram::DeviceGeometry::Ddr5x8();
-
-  timing::TimingParams params4 = timing::TimingParams::Ddr4_3200();
-  timing::TimingParams params5 = params4;
-  params5.tBL = 8;  // BL16 on a DDR bus
+  // Both design points come from the shared preset table, so the DDR5
+  // column reflects real DDR5-4800 timing (2.4 GHz clock, BL16 data
+  // bursts, 32 banks in 8 groups), not DDR4 numbers with a longer burst.
+  const timing::SystemPreset ddr4 =
+      timing::MakePreset(timing::GeometryPreset::kDdr4_3200);
+  const timing::SystemPreset ddr5 =
+      timing::MakePreset(timing::GeometryPreset::kDdr5_4800);
+  report.MetaString("ddr4_preset", timing::ToString(ddr4.kind));
+  report.MetaString("ddr5_preset", timing::ToString(ddr5.kind));
+  report.MetaReal("ddr4_tck_ns", ddr4.timing.tck_ns);
+  report.MetaReal("ddr5_tck_ns", ddr5.timing.tck_ns);
+  report.MetaInt("ddr5_tBL", ddr5.timing.tBL);
 
   util::Table t({"generation", "scheme", "write RMW",
                  "norm. perf (write-heavy)", "pin-fault SDC"});
   for (const auto kind : {ecc::SchemeKind::kIecc, ecc::SchemeKind::kPair4}) {
     for (int gen = 0; gen < 2; ++gen) {
-      const auto& rg = gen == 0 ? ddr4 : ddr5;
-      const auto& params = gen == 0 ? params4 : params5;
-      dram::RankGeometry geom = rg;
+      const timing::SystemPreset& preset = gen == 0 ? ddr4 : ddr5;
+      dram::RankGeometry geom = preset.geometry;
       dram::Rank rank(geom);
       const bool rmw = ecc::MakeScheme(kind, rank)->Perf().write_rmw;
       t.AddRow({gen == 0 ? "DDR4 x8 BL8" : "DDR5 x8 BL16",
                 ecc::ToString(kind), rmw ? "yes" : "no",
-                util::Table::Fixed(WriteHeavyNormPerf(rg, kind, params), 3),
-                util::Table::Fixed(PinFaultSdc(rg, kind, kTrials), 3)});
+                util::Table::Fixed(
+                    WriteHeavyNormPerf(preset.geometry, kind, preset.timing),
+                    3),
+                util::Table::Fixed(PinFaultSdc(preset.geometry, kind, kTrials),
+                                   3)});
     }
   }
   report.Emit("ddr5_outlook", t);

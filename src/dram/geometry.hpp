@@ -42,6 +42,18 @@ struct DeviceGeometry {
     return g;
   }
 
+  /// HBM3-style wide die: a 16-bit slice of a pseudo channel at BL8, so a
+  /// column access still moves 128 bits but across twice the pins. Pin
+  /// lines are 512 bits, which keeps PAIR's parity budget exactly inside
+  /// the 6.25 % spare region (16 pins x 1 codeword x 4 checks x 8 bits).
+  static DeviceGeometry Hbm3() {
+    DeviceGeometry g;
+    g.dq_pins = 16;
+    g.burst_length = 8;
+    g.banks = 32;
+    return g;
+  }
+
   /// Data bits moved by one column access: dq_pins * burst_length.
   unsigned AccessBits() const noexcept { return dq_pins * burst_length; }
   /// Column accesses per row.

@@ -1,8 +1,7 @@
 #include "sim/memory_system.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <memory>
 #include <utility>
 
 #include "reliability/outcome.hpp"
@@ -22,6 +21,57 @@ std::int64_t ShardCount(std::uint64_t trials) {
   return static_cast<std::int64_t>(
       reliability::TrialEngine::ShardCount(trials));
 }
+
+/// Two-way merge of the rewound demand stream (tag 1, truncated at the
+/// horizon) and the generated maintenance trace (tag 0). Replicates the
+/// retired stable_sort ordering bitwise: both inputs are non-decreasing in
+/// arrival and demand wins ties (it had the lower index in the
+/// concatenated vector the sort used to see).
+class MergedSource final : public timing::RequestSource {
+ public:
+  MergedSource(timing::RequestSource& demand, const timing::Trace& maintenance,
+               std::uint64_t horizon)
+      : demand_(demand), maintenance_(&maintenance), horizon_(horizon) {
+    Reset();
+  }
+
+  bool Next(timing::Request& out) override {
+    if (have_demand_ && (pos_ >= maintenance_->size() ||
+                         demand_req_.arrival <= (*maintenance_)[pos_].arrival)) {
+      out = demand_req_;
+      out.tag = 1;
+      PullDemand();
+      return true;
+    }
+    if (pos_ < maintenance_->size()) {
+      out = (*maintenance_)[pos_++];
+      out.tag = 0;
+      return true;
+    }
+    return false;
+  }
+
+  void Reset() override {
+    demand_.Reset();
+    pos_ = 0;
+    PullDemand();
+  }
+
+ private:
+  /// Demand requests past the horizon never entered the functional pass,
+  /// so they are excluded from the timing pass too; the stream is sorted,
+  /// making the cut a clean prefix.
+  void PullDemand() {
+    have_demand_ = demand_.Next(demand_req_) && demand_req_.arrival <= horizon_;
+  }
+
+  timing::RequestSource& demand_;
+  const timing::Trace* maintenance_;
+  std::uint64_t horizon_;
+  timing::Request demand_req_;
+  bool have_demand_ = false;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -79,7 +129,8 @@ MemorySystem::MemorySystem(const SystemConfig& config,
                            util::Xoshiro256& rng)
     : config_(config),
       ws_(ws),
-      demand_(demand),
+      owned_source_(std::in_place, demand),
+      demand_src_(&*owned_source_),
       rng_(rng),
       ctx_(config.geometry, config.scheme, ws, rng),
       injector_(ctx_.rank, ws.rows),
@@ -90,6 +141,24 @@ MemorySystem::MemorySystem(const SystemConfig& config,
                    : (demand.empty()
                           ? kDrainMarginCycles
                           : demand.back().arrival + kDrainMarginCycles)) {}
+
+MemorySystem::MemorySystem(const SystemConfig& config,
+                           const reliability::WorkingSet& ws,
+                           timing::RequestSource& demand,
+                           util::Xoshiro256& rng)
+    : config_(config),
+      ws_(ws),
+      demand_src_(&demand),
+      rng_(rng),
+      ctx_(config.geometry, config.scheme, ws, rng),
+      injector_(ctx_.rank, ws.rows),
+      scrub_(config.scrub, static_cast<unsigned>(ws.rows.size())),
+      repair_(config.repair, static_cast<unsigned>(ws.rows.size())),
+      horizon_(config.horizon_cycles) {
+  PAIR_CHECK(config.horizon_cycles != 0,
+             "streaming MemorySystem requires an explicit horizon_cycles "
+             "(the horizon cannot be derived without consuming the stream)");
+}
 
 std::size_t MemorySystem::SlotOf(const dram::Address& addr) const noexcept {
   // Counter-style hash: the same demand address always touches the same
@@ -128,13 +197,17 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel,
     queue.Push(NextFaultGap(rng_), EventKind::kFaultArrival);
   if (scrub_.PatrolEnabled())
     queue.Push(scrub_.Interval(), EventKind::kScrubStep);
-  std::size_t demand_count = 0;
-  for (std::size_t i = 0; i < demand_.size(); ++i) {
-    if (demand_[i].arrival > horizon_) break;
-    queue.Push(demand_[i].arrival, EventKind::kDemand,
-               static_cast<std::uint32_t>(i));
-    ++demand_count;
-  }
+  // Demand events are inserted lazily — one look-ahead request instead of
+  // the whole trace — so streaming sources run in constant memory. At most
+  // one kDemand event is ever queued, which preserves the legacy pop
+  // order: demand-vs-demand ties cannot arise (the next is pushed only
+  // when the current pops, and streams are sorted), and ties against the
+  // other kinds are broken by kind, which dominates the push sequence.
+  demand_src_->Reset();
+  timing::Request demand_req;
+  bool have_demand =
+      demand_src_->Next(demand_req) && demand_req.arrival <= horizon_;
+  if (have_demand) queue.Push(demand_req.arrival, EventKind::kDemand);
 
   bool saw_sdc = false;
   bool saw_due = false;
@@ -186,7 +259,10 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel,
         break;
       }
       case EventKind::kDemand: {
-        const timing::Request& req = demand_[e.payload];
+        const timing::Request req = demand_req;  // the pull below overwrites it
+        have_demand =
+            demand_src_->Next(demand_req) && demand_req.arrival <= horizon_;
+        if (have_demand) queue.Push(demand_req.arrival, EventKind::kDemand);
         const std::size_t slot = SlotOf(req.addr);
         const dram::Address& addr = ws_.addrs[slot];
         const util::BitVec& truth_line = ctx_.lines[slot];
@@ -249,31 +325,32 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel,
     return;
   }
 
-  // ---- timing pass: demand + generated maintenance through the DDR4
-  // controller (which mirrors every command into the protocol checker) ----
-  std::vector<timing::Request> all;
-  all.reserve(demand_count + maintenance_.size());
-  all.insert(all.end(), demand_.begin(),
-             demand_.begin() + static_cast<std::ptrdiff_t>(demand_count));
-  all.insert(all.end(), maintenance_.begin(), maintenance_.end());
-  std::vector<std::size_t> order(all.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  // Stable: equal arrivals keep demand (lower index) ahead of maintenance.
-  std::stable_sort(order.begin(), order.end(),
-                   [&all](std::size_t a, std::size_t b) {
-                     return all[a].arrival < all[b].arrival;
-                   });
-  timing::Trace merged;
-  merged.reserve(all.size());
-  for (const std::size_t i : order) merged.push_back(all[i]);
+  // ---- timing pass: the demand stream is rewound and merged on the fly
+  // with the generated maintenance traffic, then pulled through the
+  // controller (which mirrors every command into the protocol checker).
+  // Nothing is materialized: latency accounting happens in the completion
+  // hook, keyed on the merge's demand tag, and the percentile vector is
+  // disabled — the sums and fixed-bucket histogram are order-independent,
+  // so the stats stay bitwise identical to the sorted-vector era. ----
+  MergedSource merged(*demand_src_, maintenance_, horizon_);
 
   timing::Controller controller(
       config_.timing,
-      timing::SchemeTiming::FromPerf(ctx_.scheme->Perf(), config_.timing));
-  const timing::SimStats ts = controller.Run(merged);
+      timing::SchemeTiming::FromPerf(ctx_.scheme->Perf(), config_.timing), 16,
+      timing::PagePolicy::kOpen, config_.scheduler);
+  const timing::SimStats ts = controller.Run(
+      merged,
+      [&stats](const timing::Request& req, std::uint64_t /*index*/) {
+        if (req.tag == 1 && req.op == timing::Op::kRead) {
+          const std::uint64_t latency = req.Latency();
+          stats.read_latency_sum += latency;
+          stats.read_latency.Record(latency);
+        }
+      },
+      /*track_latency_percentiles=*/false);
   stats.protocol_violations += controller.checker().violations().size();
   PAIR_DCHECK(controller.checker().violations().empty(),
-              "sim command stream violated DDR4 protocol: "
+              "sim command stream violated DRAM protocol: "
                   << controller.checker().violations().front());
 
   stats.sim_cycles += ts.cycles;
@@ -283,14 +360,6 @@ void MemorySystem::Run(SystemStats& stats, reliability::TrialTelemetry& tel,
   stats.row_misses += ts.row_misses;
   stats.row_conflicts += ts.row_conflicts;
   stats.refreshes += ts.refreshes;
-  for (std::size_t j = 0; j < order.size(); ++j) {
-    const std::size_t i = order[j];
-    if (i < demand_count && all[i].op == timing::Op::kRead) {
-      const std::uint64_t latency = merged[j].Latency();
-      stats.read_latency_sum += latency;
-      stats.read_latency.Record(latency);
-    }
-  }
 
   ++stats.trials;
   stats.trials_with_sdc += saw_sdc ? 1 : 0;
@@ -330,6 +399,66 @@ SystemStats RunSystemCampaign(const SystemConfig& config,
       [&config, &ws, &demand](std::uint64_t /*trial*/, util::Xoshiro256& rng,
                               SystemShardState& acc) {
         MemorySystem system(config, ws, demand, rng);
+        system.Run(acc.stats, acc.tel);
+      },
+      telemetry != nullptr ? &telemetry->engine : nullptr);
+  if (telemetry != nullptr) telemetry->trial = std::move(accum.tel);
+  return accum.stats;
+}
+
+SystemStats RunSystemCampaignStreaming(const SystemConfig& config,
+                                       const RequestSourceFactory& factory,
+                                       unsigned trials,
+                                       reliability::ScenarioTelemetry* telemetry,
+                                       StreamingDemandInfo* info) {
+  config.Validate();
+
+  // Validation pre-pass: stream the demand once with the same checks as
+  // the materialized path, and learn the last arrival so a zero horizon
+  // can be derived without ever materializing the stream. Constant
+  // memory: one request of look-back.
+  SystemConfig cfg = config;
+  {
+    const std::unique_ptr<timing::RequestSource> probe = factory();
+    PAIR_CHECK(probe != nullptr, "RequestSourceFactory returned null");
+    probe->Reset();
+    timing::Request req;
+    std::uint64_t count = 0;
+    std::uint64_t last_arrival = 0;
+    while (probe->Next(req)) {
+      PAIR_CHECK(req.addr.bank < cfg.timing.banks,
+                 "demand request " << count << ": bank " << req.addr.bank
+                                   << " outside the timing model's "
+                                   << cfg.timing.banks);
+      PAIR_CHECK(req.rank < cfg.timing.ranks,
+                 "demand request " << count << ": rank " << req.rank << " of "
+                                   << cfg.timing.ranks);
+      PAIR_CHECK(count == 0 || req.arrival >= last_arrival,
+                 "demand trace must be sorted by arrival (request " << count
+                                                                    << ")");
+      last_arrival = req.arrival;
+      ++count;
+    }
+    if (cfg.horizon_cycles == 0)
+      cfg.horizon_cycles = count == 0 ? kDrainMarginCycles
+                                      : last_arrival + kDrainMarginCycles;
+    if (info != nullptr) {
+      info->requests = count;
+      info->horizon_cycles = cfg.horizon_cycles;
+    }
+  }
+
+  const reliability::WorkingSet ws = MakeSystemWorkingSet(cfg);
+
+  const reliability::TrialEngine engine(cfg.threads);
+  SystemShardState accum = engine.Run<SystemShardState>(
+      cfg.seed, trials,
+      [&cfg, &ws, &factory](std::uint64_t /*trial*/, util::Xoshiro256& rng,
+                            SystemShardState& acc) {
+        // Each trial owns a fresh source: worker threads never share
+        // stream state, and every source replays the same sequence.
+        const std::unique_ptr<timing::RequestSource> source = factory();
+        MemorySystem system(cfg, ws, *source, rng);
         system.Run(acc.stats, acc.tel);
       },
       telemetry != nullptr ? &telemetry->engine : nullptr);
@@ -393,6 +522,7 @@ telemetry::Report BuildSystemReport(
     const SystemStats& stats, const reliability::ScenarioTelemetry& telemetry) {
   telemetry::Report report("pairsim-system");
   report.MetaString("scheme", ecc::ToString(config.scheme));
+  report.MetaString("scheduler", timing::ToString(config.scheduler));
   report.MetaInt("seed", static_cast<std::int64_t>(config.seed));
   report.MetaInt("trials", trials);
   report.MetaInt("shards", ShardCount(trials));

@@ -37,7 +37,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "dram/geometry.hpp"
@@ -52,6 +54,8 @@
 #include "telemetry/report.hpp"
 #include "timing/controller.hpp"
 #include "timing/request.hpp"
+#include "timing/request_source.hpp"
+#include "timing/scheduler.hpp"
 
 namespace pair_ecc::sim {
 
@@ -68,6 +72,8 @@ struct SystemConfig {
   ScrubConfig scrub;
   RepairConfig repair;
   timing::TimingParams timing = timing::TimingParams::Ddr4_3200();
+  /// Controller scheduling policy (FR-FCFS preserves historical results).
+  timing::SchedulerKind scheduler = timing::SchedulerKind::kFrFcfs;
   unsigned working_rows = 2;   ///< rows backing the functional data path
   unsigned lines_per_row = 4;  ///< ground-truth lines per working row
   std::uint64_t seed = 1;
@@ -184,6 +190,17 @@ class MemorySystem {
   MemorySystem(const SystemConfig& config, const reliability::WorkingSet& ws,
                const timing::Trace& demand, util::Xoshiro256& rng);
 
+  /// Streaming variant: demand is pulled from `demand` instead of a
+  /// materialized trace, so multi-gigabyte or generated workloads run in
+  /// constant memory. The source is streamed twice per trial (functional
+  /// pass, then Reset() and the timing pass), so it must be rewindable and
+  /// replay the identical sequence. `config.horizon_cycles` must be
+  /// nonzero: the horizon cannot be derived from an unmaterialized stream
+  /// without consuming it (RunSystemCampaignStreaming derives it in a
+  /// validation pre-pass).
+  MemorySystem(const SystemConfig& config, const reliability::WorkingSet& ws,
+               timing::RequestSource& demand, util::Xoshiro256& rng);
+
   /// Runs the trial to the horizon. Adds this trial into `stats` (one
   /// trial's worth) and the codec/injection/corrected-units telemetry into
   /// `tel`. Draws all randomness from the constructor's RNG stream.
@@ -207,7 +224,10 @@ class MemorySystem {
 
   const SystemConfig& config_;
   const reliability::WorkingSet& ws_;
-  const timing::Trace& demand_;
+  /// Wraps the legacy-ctor trace; declared before demand_src_ so the
+  /// pointer can alias it during member init.
+  std::optional<timing::VectorSource> owned_source_;
+  timing::RequestSource* demand_src_;
   util::Xoshiro256& rng_;
   reliability::TrialContext ctx_;
   faults::Injector injector_;
@@ -224,6 +244,30 @@ class MemorySystem {
 SystemStats RunSystemCampaign(const SystemConfig& config,
                               const timing::Trace& demand, unsigned trials,
                               reliability::ScenarioTelemetry* telemetry = nullptr);
+
+/// Builds a fresh rewindable demand source; called once per trial so each
+/// worker owns its stream state (trial-parallel campaigns never share a
+/// source). Every source returned must replay the identical sequence.
+using RequestSourceFactory =
+    std::function<std::unique_ptr<timing::RequestSource>()>;
+
+/// What the streaming campaign's validation pre-pass learned about the
+/// demand stream — the CLI surfaces these in report meta.
+struct StreamingDemandInfo {
+  std::uint64_t requests = 0;        ///< demand requests per trial
+  std::uint64_t horizon_cycles = 0;  ///< horizon the trials actually used
+};
+
+/// Streaming twin of RunSystemCampaign: identical statistics, bitwise, for
+/// a factory whose stream replays the materialized trace. One validation
+/// pre-pass streams the demand once (same bank/rank/sorted checks as the
+/// materialized path) and derives the horizon from the last arrival when
+/// `config.horizon_cycles` is 0; after that, memory stays bounded no
+/// matter how long the stream is.
+SystemStats RunSystemCampaignStreaming(
+    const SystemConfig& config, const RequestSourceFactory& factory,
+    unsigned trials, reliability::ScenarioTelemetry* telemetry = nullptr,
+    StreamingDemandInfo* info = nullptr);
 
 /// Adds the `system.*` counter/metric/histogram section for `stats`.
 /// `tck_ns` converts bytes-per-cycle into bandwidth_gbps. Shared by the

@@ -8,13 +8,16 @@
 namespace pair_ecc::timing {
 
 Controller::Controller(const TimingParams& params, const SchemeTiming& scheme,
-                       unsigned window, PagePolicy policy)
+                       unsigned window, PagePolicy policy,
+                       SchedulerKind scheduler)
     : params_(params),
       scheme_(scheme),
       window_(window == 0 ? 1 : window),
       policy_(policy),
       checker_(params) {
   params_.Validate();
+  scheduler_ = MakeScheduler(scheduler, window_, params_.ranks, params_.banks,
+                             params_.rfm_threshold);
   ranks_.resize(params_.ranks);
   for (unsigned r = 0; r < params_.ranks; ++r) {
     ranks_[r].banks.resize(params_.banks);
@@ -122,6 +125,7 @@ void Controller::IssueAct(unsigned rank, unsigned bank, unsigned row,
   rk.ready_act_any = std::max(rk.ready_act_any, cycle + params_.tRRD_S);
   rk.act_history.push_back(cycle);
   if (rk.act_history.size() > 8) rk.act_history.pop_front();
+  scheduler_->OnAct(rank, bank);
 }
 
 bool Controller::CanPre(unsigned rank, unsigned bank,
@@ -142,12 +146,37 @@ SimStats Controller::Run(Trace& trace) {
   for (const auto& req : trace)
     PAIR_CHECK(req.rank < params_.ranks, "Controller::Run: request rank out of range");
 
+  VectorSource source(trace);
+  return Run(source, [&trace](const Request& req, std::uint64_t index) {
+    trace[index].issue = req.issue;
+    trace[index].complete = req.complete;
+  });
+}
+
+SimStats Controller::Run(RequestSource& source,
+                         const CompletionHook& on_complete,
+                         bool track_latency_percentiles) {
   SimStats stats;
-  std::deque<Request*> queue;
-  std::size_t next_arrival = 0;
+  std::deque<Pending> queue;
   std::uint64_t cycle = 0;
+  std::uint64_t read_latency_sum = 0;
   std::vector<std::uint64_t> read_latencies;
-  read_latencies.reserve(trace.size());
+
+  // One-request lookahead into the stream (the streaming equivalent of
+  // peeking trace[next_arrival]).
+  Request next_req;
+  std::uint64_t next_index = 0;
+  std::uint64_t last_arrival = 0;
+  auto pull = [&]() {
+    if (!source.Next(next_req)) return false;
+    PAIR_CHECK(next_req.rank < params_.ranks,
+               "Controller::Run: request rank out of range");
+    PAIR_CHECK(next_req.arrival >= last_arrival,
+               "Controller::Run: source arrivals must be non-decreasing");
+    last_arrival = next_req.arrival;
+    return true;
+  };
+  bool have_next = pull();
 
   // Classify locality on first sight of each request (for row-hit stats).
   auto classify = [&](const Request& req) {
@@ -167,17 +196,16 @@ SimStats Controller::Run(Trace& trace) {
     return t;
   };
 
-  while (next_arrival < trace.size() || !queue.empty()) {
+  while (have_next || !queue.empty()) {
     // Admit arrivals.
-    while (next_arrival < trace.size() &&
-           trace[next_arrival].arrival <= cycle) {
-      classify(trace[next_arrival]);
-      queue.push_back(&trace[next_arrival]);
-      ++next_arrival;
+    while (have_next && next_req.arrival <= cycle) {
+      classify(next_req);
+      queue.push_back(Pending{next_req, next_index++});
+      have_next = pull();
     }
-    if (queue.empty() && (!params_.enable_refresh ||
-                          trace[next_arrival].arrival < earliest_refresh())) {
-      cycle = trace[next_arrival].arrival;  // skip idle gap
+    if (queue.empty() &&
+        (!params_.enable_refresh || next_req.arrival < earliest_refresh())) {
+      cycle = next_req.arrival;  // skip idle gap
       continue;
     }
 
@@ -219,21 +247,46 @@ SimStats Controller::Run(Trace& trace) {
       continue;
     }
 
-    const std::size_t window = std::min<std::size_t>(window_, queue.size());
+    // Refresh management (PRAC) drains like refresh: precharge the due
+    // bank, then hold it for tRFM. It outranks demand so the activation
+    // bound cannot be starved by a row-hit streak.
+    {
+      unsigned rfm_rank = 0;
+      unsigned rfm_bank = 0;
+      if (scheduler_->RfmDue(rfm_rank, rfm_bank)) {
+        BankState& b = ranks_[rfm_rank].banks[rfm_bank];
+        if (b.open) {
+          if (CanPre(rfm_rank, rfm_bank, cycle))
+            IssuePre(rfm_rank, rfm_bank, cycle);
+        } else if (cycle >= b.ready_act) {
+          checker_.OnCommand(Cmd::kRfm, rfm_rank, rfm_bank, 0, cycle);
+          b.ready_act = std::max(b.ready_act, cycle + params_.tRFM);
+          scheduler_->OnRfm();
+          ++stats.rfm_commands;
+        }
+        ++cycle;
+        continue;
+      }
+    }
+
+    const std::size_t window = scheduler_->Window(queue.size());
     bool issued = false;
 
-    // FR-FCFS pass 1: oldest row-hit CAS that can issue now.
+    // Pass 1: oldest row-hit CAS in the window that can issue now.
     for (std::size_t i = 0; i < window && !issued; ++i) {
-      Request* req = queue[i];
-      if (CanIssueCas(*req, cycle)) {
-        IssueCas(*req, cycle);
-        if (req->op == Op::kRead) {
+      Pending& p = queue[i];
+      if (CanIssueCas(p.req, cycle)) {
+        IssueCas(p.req, cycle);
+        if (p.req.op == Op::kRead) {
           ++stats.reads;
-          read_latencies.push_back(req->Latency());
+          read_latency_sum += p.req.Latency();
+          if (track_latency_percentiles)
+            read_latencies.push_back(p.req.Latency());
         } else {
           ++stats.writes;
         }
-        stats.cycles = std::max(stats.cycles, req->complete);
+        stats.cycles = std::max(stats.cycles, p.req.complete);
+        if (on_complete) on_complete(p.req, p.index);
         queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
         issued = true;
       }
@@ -241,10 +294,10 @@ SimStats Controller::Run(Trace& trace) {
 
     // Pass 2: open the row for the oldest request whose bank is closed.
     for (std::size_t i = 0; i < window && !issued; ++i) {
-      const Request* req = queue[i];
-      const BankState& b = ranks_[req->rank].banks[req->addr.bank];
-      if (!b.open && CanAct(req->rank, req->addr.bank, cycle)) {
-        IssueAct(req->rank, req->addr.bank, req->addr.row, cycle);
+      const Request& req = queue[i].req;
+      const BankState& b = ranks_[req.rank].banks[req.addr.bank];
+      if (!b.open && CanAct(req.rank, req.addr.bank, cycle)) {
+        IssueAct(req.rank, req.addr.bank, req.addr.row, cycle);
         issued = true;
       }
     }
@@ -252,16 +305,16 @@ SimStats Controller::Run(Trace& trace) {
     // Pass 3: close a conflicting row — but never while some queued request
     // in the window still hits it (classic FR-FCFS row-hit preference).
     for (std::size_t i = 0; i < window && !issued; ++i) {
-      const Request* req = queue[i];
-      const BankState& b = ranks_[req->rank].banks[req->addr.bank];
-      if (!b.open || b.row == req->addr.row) continue;
+      const Request& req = queue[i].req;
+      const BankState& b = ranks_[req.rank].banks[req.addr.bank];
+      if (!b.open || b.row == req.addr.row) continue;
       bool someone_hits = false;
       for (std::size_t j = 0; j < window && !someone_hits; ++j)
-        someone_hits = queue[j]->rank == req->rank &&
-                       queue[j]->addr.bank == req->addr.bank &&
-                       queue[j]->addr.row == b.row;
-      if (!someone_hits && CanPre(req->rank, req->addr.bank, cycle)) {
-        IssuePre(req->rank, req->addr.bank, cycle);
+        someone_hits = queue[j].req.rank == req.rank &&
+                       queue[j].req.addr.bank == req.addr.bank &&
+                       queue[j].req.addr.row == b.row;
+      if (!someone_hits && CanPre(req.rank, req.addr.bank, cycle)) {
+        IssuePre(req.rank, req.addr.bank, cycle);
         issued = true;
       }
     }
@@ -275,8 +328,9 @@ SimStats Controller::Run(Trace& trace) {
           if (!state.open || !state.had_cas) continue;
           bool someone_hits = false;
           for (std::size_t j = 0; j < window && !someone_hits; ++j)
-            someone_hits = queue[j]->rank == r && queue[j]->addr.bank == b &&
-                           queue[j]->addr.row == state.row;
+            someone_hits = queue[j].req.rank == r &&
+                           queue[j].req.addr.bank == b &&
+                           queue[j].req.addr.row == state.row;
           if (!someone_hits && CanPre(r, b, cycle)) {
             IssuePre(r, b, cycle);
             issued = true;
@@ -288,11 +342,10 @@ SimStats Controller::Run(Trace& trace) {
     ++cycle;
   }
 
+  if (stats.reads > 0)
+    stats.avg_read_latency = static_cast<double>(read_latency_sum) /
+                             static_cast<double>(stats.reads);
   if (!read_latencies.empty()) {
-    std::uint64_t sum = 0;
-    for (auto l : read_latencies) sum += l;
-    stats.avg_read_latency = static_cast<double>(sum) /
-                             static_cast<double>(read_latencies.size());
     std::sort(read_latencies.begin(), read_latencies.end());
     const std::size_t p99 =
         std::min(read_latencies.size() - 1, read_latencies.size() * 99 / 100);

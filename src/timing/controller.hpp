@@ -1,6 +1,7 @@
-// Cycle-approximate memory-channel controller with FR-FCFS scheduling,
-// open- or closed-page row management, auto-refresh, and one or more ranks
-// sharing the command/data bus.
+// Cycle-approximate memory-channel controller with pluggable scheduling
+// (FR-FCFS, strict FCFS, PRAC-style refresh management), open- or
+// closed-page row management, auto-refresh, and one or more ranks sharing
+// the command/data bus.
 //
 // The simulator issues at most one command per cycle (shared command bus)
 // and models per-rank bank timing, the four-activate window, CAS-to-CAS,
@@ -9,13 +10,23 @@
 // bank occupancy on writes (conventional IECC, XED, PAIR's rmw ablation),
 // and decode/encode latencies. Every command is mirrored into a
 // ProtocolChecker so scheduling bugs surface as test failures.
+//
+// Requests are consumed through the pull-based RequestSource interface, so
+// the controller runs in memory proportional to its queue, not the trace:
+// multi-GB streaming traces and procedural generators feed it directly.
+// The legacy whole-trace Run(Trace&) overload is a thin adapter and stays
+// bitwise-identical to the pre-streaming implementation.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 
 #include "timing/protocol_checker.hpp"
 #include "timing/request.hpp"
+#include "timing/request_source.hpp"
+#include "timing/scheduler.hpp"
 #include "timing/timing_params.hpp"
 
 namespace pair_ecc::timing {
@@ -31,6 +42,7 @@ struct SimStats {
   std::uint64_t row_misses = 0;   ///< bank closed, ACT needed
   std::uint64_t row_conflicts = 0;///< wrong row open, PRE+ACT needed
   std::uint64_t refreshes = 0;    ///< all-bank REF commands issued
+  std::uint64_t rfm_commands = 0; ///< PRAC refresh-management commands
 
   /// Data bandwidth in bytes per cycle (64-byte lines).
   double BytesPerCycle() const {
@@ -49,16 +61,32 @@ enum class PagePolicy : std::uint8_t {
 
 class Controller {
  public:
+  /// Observes each request as its CAS issues, with issue/complete stamps
+  /// filled in. The second argument is the request's admission index
+  /// (position in the source's stream, 0-based).
+  using CompletionHook = std::function<void(const Request&, std::uint64_t)>;
+
   /// `window`: how many queued requests FR-FCFS considers for reordering.
   Controller(const TimingParams& params, const SchemeTiming& scheme,
-             unsigned window = 16, PagePolicy policy = PagePolicy::kOpen);
+             unsigned window = 16, PagePolicy policy = PagePolicy::kOpen,
+             SchedulerKind scheduler = SchedulerKind::kFrFcfs);
 
   /// Simulates the trace (must be sorted by arrival cycle) to completion.
   /// Fills each request's issue/complete stamps in place. Requests with
   /// rank >= params.ranks are rejected with std::invalid_argument.
   SimStats Run(Trace& trace);
 
+  /// Streaming form: pulls requests from `source` (non-decreasing
+  /// arrivals) and simulates to completion in memory proportional to the
+  /// controller queue. `on_complete` (may be empty) observes every request
+  /// at CAS issue. With `track_latency_percentiles` false the per-read
+  /// latency vector is not kept — p99_read_latency reports 0 and memory
+  /// stays bounded for arbitrarily long streams.
+  SimStats Run(RequestSource& source, const CompletionHook& on_complete = {},
+               bool track_latency_percentiles = true);
+
   const ProtocolChecker& checker() const noexcept { return checker_; }
+  SchedulerKind scheduler_kind() const noexcept { return scheduler_->kind(); }
 
  private:
   struct BankState {
@@ -80,10 +108,13 @@ class Controller {
     std::uint64_t next_refresh = 0;
   };
 
+  /// A queued request plus its admission index (for the completion hook).
+  struct Pending {
+    Request req;
+    std::uint64_t index;
+  };
+
   unsigned GroupOf(unsigned bank) const { return bank % params_.bank_groups; }
-  BankState& BankOf(const Request& req) {
-    return ranks_[req.rank].banks[req.addr.bank];
-  }
 
   bool CanIssueCas(const Request& req, std::uint64_t cycle) const;
   void IssueCas(Request& req, std::uint64_t cycle);
@@ -100,6 +131,7 @@ class Controller {
   unsigned window_;
   PagePolicy policy_;
   ProtocolChecker checker_;
+  std::unique_ptr<Scheduler> scheduler_;
 
   std::vector<RankState> ranks_;
   std::uint64_t bus_free_ = 0;

@@ -1,0 +1,129 @@
+#include "timing/presets.hpp"
+
+#include "util/contract.hpp"
+
+namespace pair_ecc::timing {
+
+const char* ToString(GeometryPreset preset) {
+  switch (preset) {
+    case GeometryPreset::kDdr4_3200: return "ddr4-3200";
+    case GeometryPreset::kDdr5_4800: return "ddr5-4800";
+    case GeometryPreset::kHbm3:      return "hbm3";
+  }
+  return "?";
+}
+
+GeometryPreset GeometryPresetFromString(const std::string& name) {
+  if (name == "ddr4" || name == "ddr4-3200") return GeometryPreset::kDdr4_3200;
+  if (name == "ddr5" || name == "ddr5-4800") return GeometryPreset::kDdr5_4800;
+  if (name == "hbm3") return GeometryPreset::kHbm3;
+  PAIR_CHECK(false,
+             "unknown geometry preset '" << name << "' (want ddr4|ddr5|hbm3)");
+  return GeometryPreset::kDdr4_3200;
+}
+
+namespace {
+
+// DDR5-4800: 2400 MHz clock. One 32-bit subchannel modelled as four x8
+// BL16 dies plus the ECC die, so the line stays 64 bytes and the
+// conventional on-die codeword equals the 128-bit access (no write RMW —
+// the property T4 probes). Absolute cycle counts are scaled from typical
+// 4800-bin nanosecond specs at tCK = 0.4167 ns.
+SystemPreset Ddr5Preset() {
+  SystemPreset p;
+  p.kind = GeometryPreset::kDdr5_4800;
+  p.geometry.device = dram::DeviceGeometry::Ddr5x8();
+  p.geometry.device.banks = 32;
+  p.geometry.data_devices = 4;
+  p.geometry.ecc_devices = 1;
+
+  TimingParams& t = p.timing;
+  t.tck_ns = 1.0 / 2.4;
+  t.tRCD = 40;
+  t.tRP = 40;
+  t.tCL = 40;
+  t.tCWL = 38;
+  t.tRAS = 77;
+  t.tRC = 117;
+  t.tBL = 8;  // BL16 on a DDR bus
+  t.tCCD_S = 8;
+  t.tCCD_L = 12;
+  t.tRRD_S = 8;
+  t.tRRD_L = 12;
+  t.tFAW = 32;
+  t.tWR = 72;
+  t.tWTR = 24;
+  t.tRTP = 18;
+  t.tRTW_gap = 2;
+  t.tREFI = 9360;  // 3.9 us
+  t.tRFC = 708;    // 295 ns
+  t.banks = 32;
+  t.bank_groups = 8;
+  t.tRFM = 456;  // 190 ns
+  t.rfm_threshold = 32;
+  return p;
+}
+
+// HBM3-class stack: one 16-bit pseudo-channel slice per die at BL8 and a
+// 3.2 GHz clock (6.4 Gb/s pins). Four data dies keep the 64-byte line;
+// bank timings are long in cycles because the clock is fast, but the
+// wide interface and BL8 bursts make the data bus far faster per line.
+SystemPreset Hbm3Preset() {
+  SystemPreset p;
+  p.kind = GeometryPreset::kHbm3;
+  p.geometry.device = dram::DeviceGeometry::Hbm3();
+  p.geometry.data_devices = 4;
+  p.geometry.ecc_devices = 1;
+
+  TimingParams& t = p.timing;
+  t.tck_ns = 0.3125;
+  t.tRCD = 46;
+  t.tRP = 46;
+  t.tCL = 46;
+  t.tCWL = 36;
+  t.tRAS = 96;
+  t.tRC = 142;
+  t.tBL = 4;  // BL8 on a DDR bus
+  t.tCCD_S = 4;
+  t.tCCD_L = 8;
+  t.tRRD_S = 8;
+  t.tRRD_L = 12;
+  t.tFAW = 48;
+  t.tWR = 56;
+  t.tWTR = 24;
+  t.tRTP = 16;
+  t.tRTW_gap = 2;
+  t.tREFI = 12480;  // 3.9 us at the faster clock
+  t.tRFC = 832;     // 260 ns
+  t.banks = 32;
+  t.bank_groups = 8;
+  t.tRFM = 416;  // 130 ns
+  t.rfm_threshold = 32;
+  return p;
+}
+
+}  // namespace
+
+SystemPreset MakePreset(GeometryPreset preset) {
+  SystemPreset p;
+  switch (preset) {
+    case GeometryPreset::kDdr4_3200:
+      // Exactly the historical defaults: selecting ddr4 is bitwise-neutral.
+      p.kind = GeometryPreset::kDdr4_3200;
+      p.timing = TimingParams::Ddr4_3200();
+      break;
+    case GeometryPreset::kDdr5_4800:
+      p = Ddr5Preset();
+      break;
+    case GeometryPreset::kHbm3:
+      p = Hbm3Preset();
+      break;
+  }
+  p.geometry.Validate();
+  p.timing.Validate();
+  PAIR_CHECK(p.geometry.device.banks <= p.timing.banks,
+             "preset geometry/timing bank mismatch");
+  return p;
+}
+
+}  // namespace pair_ecc::timing

@@ -1,0 +1,41 @@
+// Named geometry + timing presets: one switch selects a coherent
+// (RankGeometry, TimingParams) pair for a DDR4-3200, DDR5-4800, or
+// HBM3-class part, threaded end-to-end through MemorySystem, pairsim
+// and the benches so scheme comparisons run on modern geometries
+// without hand-tuned local constants.
+//
+// The DDR4-3200 preset is field-for-field identical to the historical
+// defaults (RankGeometry{} + TimingParams::Ddr4_3200()), so selecting it
+// is bitwise-neutral for every existing golden. The DDR5/HBM3 values are
+// representative of public datasheets, not a specific bin: as with the
+// DDR4 defaults, the benches report ratios against a No-ECC baseline on
+// the same parameters, so ratios — not absolute cycle counts — carry the
+// conclusions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/geometry.hpp"
+#include "timing/timing_params.hpp"
+
+namespace pair_ecc::timing {
+
+enum class GeometryPreset : std::uint8_t { kDdr4_3200, kDdr5_4800, kHbm3 };
+
+const char* ToString(GeometryPreset preset);
+
+/// Parses "ddr4" | "ddr5" | "hbm3" (also the long "ddr4-3200" /
+/// "ddr5-4800" spellings); throws on anything else.
+GeometryPreset GeometryPresetFromString(const std::string& name);
+
+struct SystemPreset {
+  GeometryPreset kind = GeometryPreset::kDdr4_3200;
+  dram::RankGeometry geometry;
+  TimingParams timing;
+};
+
+/// Returns the validated geometry + timing pair for `preset`.
+SystemPreset MakePreset(GeometryPreset preset);
+
+}  // namespace pair_ecc::timing

@@ -11,6 +11,7 @@ std::string ToString(Cmd cmd) {
     case Cmd::kRead:  return "RD";
     case Cmd::kWrite: return "WR";
     case Cmd::kRef:   return "REF";
+    case Cmd::kRfm:   return "RFM";
   }
   return "?";
 }
@@ -60,11 +61,28 @@ void ProtocolChecker::OnCommand(Cmd cmd, unsigned rank, unsigned bank,
       rk.has_ref = true;
       break;
     }
+    case Cmd::kRfm: {
+      // Per-bank refresh management: the target bank must be precharged
+      // (tRP after its PRE) and outside any earlier RFM's tRFM window.
+      Expect(!b.open, cmd, rank, bank, cycle, "RFM to an open bank");
+      if (b.has_pre)
+        Expect(cycle >= b.last_pre + params_.tRP, cmd, rank, bank, cycle,
+               "tRP (RFM after PRE)");
+      if (b.has_rfm)
+        Expect(cycle >= b.last_rfm + params_.tRFM, cmd, rank, bank, cycle,
+               "tRFM (back-to-back RFM)");
+      b.last_rfm = cycle;
+      b.has_rfm = true;
+      break;
+    }
     case Cmd::kAct: {
       Expect(!b.open, cmd, rank, bank, cycle, "ACT to an open bank");
       if (rk.has_ref)
         Expect(cycle >= rk.last_ref + params_.tRFC, cmd, rank, bank, cycle,
                "tRFC (ACT during refresh)");
+      if (b.has_rfm)
+        Expect(cycle >= b.last_rfm + params_.tRFM, cmd, rank, bank, cycle,
+               "tRFM (ACT during refresh management)");
       if (b.has_act)
         Expect(cycle >= b.last_act + params_.tRC, cmd, rank, bank, cycle,
                "tRC");

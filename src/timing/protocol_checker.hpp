@@ -22,7 +22,7 @@
 
 namespace pair_ecc::timing {
 
-enum class Cmd : std::uint8_t { kAct, kPre, kRead, kWrite, kRef };
+enum class Cmd : std::uint8_t { kAct, kPre, kRead, kWrite, kRef, kRfm };
 
 std::string ToString(Cmd cmd);
 
@@ -58,6 +58,8 @@ class ProtocolChecker {
     bool has_rd = false;
     std::uint64_t last_wr_data_end = 0;
     bool has_wr = false;
+    std::uint64_t last_rfm = 0;
+    bool has_rfm = false;
   };
 
   struct RankTrack {

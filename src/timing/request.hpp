@@ -21,6 +21,11 @@ struct Request {
   std::uint64_t issue = 0;     ///< cycle the CAS command issued
   std::uint64_t complete = 0;  ///< data (+ decode) fully available / committed
 
+  /// Transient client-side marker (never serialized): producers may tag
+  /// requests so a completion hook can tell streams apart after merging
+  /// (the system simulator tags demand vs. maintenance traffic).
+  std::uint8_t tag = 0;
+
   std::uint64_t Latency() const noexcept { return complete - arrival; }
 };
 

@@ -1,0 +1,59 @@
+// Pull-based request streams: the controller and the system simulator
+// consume demand traffic one request at a time, so multi-GB traces and
+// procedural generators never have to materialize a timing::Trace vector.
+//
+// Contract: Next() yields requests in non-decreasing arrival order and
+// returns false at end of stream; Reset() rewinds to the exact same
+// sequence (sources must be seed-reproducible — the system simulator
+// re-streams the demand trace for its timing pass, and the determinism
+// contract requires both passes to see identical requests).
+#pragma once
+
+#include <cstddef>
+
+#include "timing/request.hpp"
+
+namespace pair_ecc::timing {
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// Fills `out` with the next request; false at end of stream.
+  virtual bool Next(Request& out) = 0;
+
+  /// Rewinds to the start of the identical sequence.
+  virtual void Reset() = 0;
+};
+
+/// Adapter: a whole-in-memory Trace viewed as a RequestSource. Does not
+/// own the trace; the caller keeps it alive for the adapter's lifetime.
+class VectorSource final : public RequestSource {
+ public:
+  explicit VectorSource(const Trace& trace) : trace_(&trace) {}
+
+  bool Next(Request& out) override {
+    if (pos_ >= trace_->size()) return false;
+    out = (*trace_)[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+
+ private:
+  const Trace* trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Drains a source into a materialized trace (differential tests and
+/// small streams where constant memory does not matter).
+inline Trace Materialize(RequestSource& source) {
+  Trace trace;
+  Request req;
+  source.Reset();
+  while (source.Next(req)) trace.push_back(req);
+  source.Reset();
+  return trace;
+}
+
+}  // namespace pair_ecc::timing

@@ -49,6 +49,12 @@ struct TimingParams {
   unsigned banks = 16;  ///< banks per rank
   unsigned bank_groups = 4;
 
+  // Refresh management (PRAC-style): an RFM command holds its bank for
+  // tRFM; the PRAC scheduler arms one after rfm_threshold activations of
+  // a bank. Only consulted when SchedulerKind::kPrac is selected.
+  unsigned tRFM = 560;
+  unsigned rfm_threshold = 32;
+
   static TimingParams Ddr4_3200() { return {}; }
 
   void Validate() const {

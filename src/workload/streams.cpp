@@ -1,0 +1,163 @@
+#include "workload/streams.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace pair_ecc::workload {
+
+std::string ToString(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kTensorStream:   return "tensor";
+    case StreamKind::kPointerChase:   return "pointer";
+    case StreamKind::kBatchInference: return "batch";
+  }
+  return "unknown";
+}
+
+StreamKind StreamKindFromString(const std::string& name) {
+  if (name == "tensor") return StreamKind::kTensorStream;
+  if (name == "pointer") return StreamKind::kPointerChase;
+  if (name == "batch") return StreamKind::kBatchInference;
+  PAIR_CHECK(false,
+             "unknown stream kind '" << name << "' (want tensor|pointer|batch)");
+  return StreamKind::kTensorStream;
+}
+
+void StreamConfig::Validate() const {
+  PAIR_CHECK(!(num_requests == 0 || ranks == 0 || banks == 0 || rows == 0 ||
+               cols == 0),
+             "StreamConfig: zero-sized field");
+  PAIR_CHECK(!(read_fraction < 0.0 || read_fraction > 1.0),
+             "StreamConfig: read_fraction out of [0,1]");
+  PAIR_CHECK(!(intensity <= 0.0 || intensity > 1.0),
+             "StreamConfig: intensity out of (0,1]");
+  PAIR_CHECK(burst_len != 0, "StreamConfig: burst_len must be nonzero");
+  PAIR_CHECK(!(hot_rows == 0 || hot_rows > rows), "StreamConfig: bad hot_rows");
+}
+
+namespace {
+
+// One class covers all three shapes: the per-shape state is tiny and the
+// switch keeps Reset() trivially exhaustive.
+class SyntheticStream final : public timing::RequestSource {
+ public:
+  explicit SyntheticStream(const StreamConfig& config)
+      : config_(config), rng_(config.seed) {
+    config_.Validate();
+  }
+
+  bool Next(timing::Request& out) override {
+    if (emitted_ >= config_.num_requests) return false;
+    switch (config_.kind) {
+      case StreamKind::kTensorStream:   NextTensor(out); break;
+      case StreamKind::kPointerChase:   NextPointer(out); break;
+      case StreamKind::kBatchInference: NextBatch(out); break;
+    }
+    ++emitted_;
+    return true;
+  }
+
+  void Reset() override {
+    rng_ = util::Xoshiro256(config_.seed);
+    emitted_ = 0;
+    cycle_ = 0;
+    burst_pos_ = 0;
+    s_bank_ = s_row_ = s_col_ = 0;
+    chase_state_ = config_.seed;
+    in_weight_phase_ = true;
+  }
+
+ private:
+  /// Geometric inter-arrival with mean 1/intensity (Generate's model).
+  void AdvanceArrival() {
+    while (!rng_.Bernoulli(config_.intensity)) ++cycle_;
+  }
+
+  /// Sequential bank-interleaved walk shared by the streaming shapes.
+  void SequentialAddress(timing::Request& req) {
+    req.addr = {s_bank_, s_row_, s_col_};
+    req.rank = s_bank_ % config_.ranks;
+    s_bank_ = (s_bank_ + 1) % config_.banks;
+    if (s_bank_ == 0) {
+      s_col_ = (s_col_ + 1) % config_.cols;
+      if (s_col_ == 0) s_row_ = (s_row_ + 1) % config_.rows;
+    }
+  }
+
+  void NextTensor(timing::Request& req) {
+    if (burst_pos_ == config_.burst_len) {
+      cycle_ += config_.gap_cycles;  // compute gap between tiles
+      burst_pos_ = 0;
+    }
+    ++burst_pos_;
+    AdvanceArrival();
+    req = timing::Request{};
+    req.arrival = cycle_;
+    req.op = rng_.Bernoulli(config_.read_fraction) ? timing::Op::kRead
+                                                   : timing::Op::kWrite;
+    SequentialAddress(req);
+  }
+
+  void NextPointer(timing::Request& req) {
+    // Each load depends on the previous: the gap is a round-trip, not an
+    // offered load, and every access is a read at a hash-walked address.
+    const auto mean_gap = static_cast<std::uint64_t>(1.0 / config_.intensity);
+    cycle_ += std::max<std::uint64_t>(1, mean_gap) + rng_.UniformBelow(8);
+    chase_state_ = util::SplitMix64::Mix(chase_state_ + 0x9e3779b97f4a7c15ull);
+    req = timing::Request{};
+    req.arrival = cycle_;
+    req.op = timing::Op::kRead;
+    req.rank = static_cast<unsigned>((chase_state_ >> 52) % config_.ranks);
+    req.addr = {static_cast<unsigned>(chase_state_ % config_.banks),
+                static_cast<unsigned>((chase_state_ >> 20) % config_.rows),
+                static_cast<unsigned>((chase_state_ >> 40) % config_.cols)};
+  }
+
+  void NextBatch(timing::Request& req) {
+    if (burst_pos_ == config_.burst_len) {
+      burst_pos_ = 0;
+      if (in_weight_phase_) {
+        in_weight_phase_ = false;  // straight into the activation phase
+      } else {
+        in_weight_phase_ = true;
+        cycle_ += config_.gap_cycles;  // host gap between batches
+      }
+    }
+    ++burst_pos_;
+    AdvanceArrival();
+    req = timing::Request{};
+    req.arrival = cycle_;
+    if (in_weight_phase_) {
+      req.op = timing::Op::kRead;
+      SequentialAddress(req);
+      return;
+    }
+    // Activation phase: read/write a hot row set.
+    req.op = rng_.Bernoulli(config_.read_fraction) ? timing::Op::kRead
+                                                   : timing::Op::kWrite;
+    const auto hot = static_cast<unsigned>(rng_.UniformBelow(config_.hot_rows));
+    req.rank = hot % config_.ranks;
+    req.addr = {hot % config_.banks, hot,
+                static_cast<unsigned>(rng_.UniformBelow(config_.cols))};
+  }
+
+  StreamConfig config_;
+  util::Xoshiro256 rng_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t cycle_ = 0;
+  unsigned burst_pos_ = 0;
+  unsigned s_bank_ = 0, s_row_ = 0, s_col_ = 0;
+  std::uint64_t chase_state_ = 0;
+  bool in_weight_phase_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<timing::RequestSource> MakeStream(const StreamConfig& config) {
+  auto stream = std::make_unique<SyntheticStream>(config);
+  stream->Reset();  // one init path: construction == Reset()
+  return stream;
+}
+
+}  // namespace pair_ecc::workload

@@ -1,0 +1,67 @@
+// Synthetic AI/HPC-shaped streaming workloads.
+//
+// Where workload::Generate materializes a whole timing::Trace, these
+// generators implement timing::RequestSource and produce requests on
+// demand in O(1) state, so arbitrarily long workloads drive the simulator
+// in constant memory. Three shapes bracket modern accelerator traffic:
+//
+//   kTensorStream   — tile-granular weight/tensor fetches: dense
+//                     bank-interleaved sequential bursts separated by
+//                     compute gaps; read-heavy. The bandwidth-saturating
+//                     best case where BL9-style burst extension hurts most.
+//   kPointerChase   — dependent random reads with latency-sized gaps
+//                     (graph/sparse traversal): the row-buffer-hostile,
+//                     latency-bound worst case.
+//   kBatchInference — alternating batch phases: a sequential weight
+//                     stream, then read/write activation traffic on a hot
+//                     row set — the mixed shape where write-RMW penalties
+//                     and row conflicts interact.
+//
+// Determinism contract: a stream is a pure function of its config
+// (including seed); Reset() rewinds to the identical sequence, which the
+// system simulator relies on when it re-streams demand for its timing
+// pass, and trial-parallel campaigns rely on when each trial re-creates
+// the stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "timing/request_source.hpp"
+#include "util/rng.hpp"
+
+namespace pair_ecc::workload {
+
+enum class StreamKind : std::uint8_t {
+  kTensorStream,
+  kPointerChase,
+  kBatchInference,
+};
+
+std::string ToString(StreamKind kind);
+
+/// Parses "tensor" | "pointer" | "batch"; throws on anything else.
+StreamKind StreamKindFromString(const std::string& name);
+
+struct StreamConfig {
+  StreamKind kind = StreamKind::kTensorStream;
+  std::uint64_t num_requests = 20000;
+  unsigned ranks = 1;
+  unsigned banks = 16;
+  unsigned rows = 64;    ///< rows per bank the stream touches
+  unsigned cols = 128;   ///< columns per row
+  double intensity = 0.25;     ///< offered load inside a burst (req/cycle)
+  double read_fraction = 0.9;  ///< R/W mix where the shape allows writes
+  unsigned burst_len = 256;    ///< requests per tile / batch phase
+  unsigned gap_cycles = 2000;  ///< compute gap between tiles / batches
+  unsigned hot_rows = 4;       ///< kBatchInference: activation row set
+  std::uint64_t seed = 1;
+
+  void Validate() const;
+};
+
+/// Builds the seed-reproducible streaming source for `config`.
+std::unique_ptr<timing::RequestSource> MakeStream(const StreamConfig& config);
+
+}  // namespace pair_ecc::workload

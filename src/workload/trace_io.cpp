@@ -1,8 +1,10 @@
 #include "workload/trace_io.hpp"
 
 #include <fstream>
-#include <sstream>
+#include <istream>
 #include <stdexcept>
+
+#include "workload/trace_stream.hpp"
 
 namespace pair_ecc::workload {
 
@@ -21,44 +23,57 @@ void WriteTraceFile(const timing::Trace& trace, const std::string& path) {
   WriteTrace(trace, os);
 }
 
-timing::Trace ReadTrace(std::istream& is, const std::string& source) {
+namespace {
+
+/// Shared line loop for the throwing and diagnostic-collecting modes.
+/// `on_error` returns true to keep parsing (the bad line is skipped) or
+/// false to stop.
+template <typename OnError>
+timing::Trace ReadTraceLines(std::istream& is, const std::string& source,
+                             const OnError& on_error) {
   timing::Trace trace;
   std::string line;
   unsigned line_no = 0;
-  auto fail = [&](const std::string& what) {
-    throw std::runtime_error(source + ":" + std::to_string(line_no) + ": " +
-                             what);
-  };
+  std::string error;
   while (std::getline(is, line)) {
     ++line_no;
-    const auto first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ss(line);
     timing::Request req;
-    std::string op;
-    if (!(ss >> req.arrival >> op >> req.addr.bank >> req.addr.row >>
-          req.addr.col))
-      fail("expected '<cycle> <R|W> <bank> <row> <col>'");
-    if (op == "R" || op == "r") {
-      req.op = timing::Op::kRead;
-    } else if (op == "W" || op == "w") {
-      req.op = timing::Op::kWrite;
-    } else {
-      fail("unknown op '" + op + "'");
+    switch (ParseTraceLine(line, req, error)) {
+      case TraceLineKind::kBlank:
+        continue;
+      case TraceLineKind::kRequest:
+        if (!trace.empty() && req.arrival < trace.back().arrival) {
+          error = "cycles must be non-decreasing";
+          break;
+        }
+        trace.push_back(req);
+        continue;
+      case TraceLineKind::kError:
+        break;
     }
-    if (!(ss >> req.rank)) {
-      // The rank column is optional; a present-but-unparsable one is not.
-      if (!ss.eof()) fail("bad rank column");
-      ss.clear();
-      req.rank = 0;
-    }
-    std::string extra;
-    if (ss >> extra) fail("trailing tokens");
-    if (!trace.empty() && req.arrival < trace.back().arrival)
-      fail("cycles must be non-decreasing");
-    trace.push_back(req);
+    if (!on_error(source + ":" + std::to_string(line_no) + ": " + error))
+      return trace;
   }
   return trace;
+}
+
+}  // namespace
+
+timing::Trace ReadTrace(std::istream& is, const std::string& source) {
+  return ReadTraceLines(is, source, [](const std::string& message) -> bool {
+    throw std::runtime_error(message);
+  });
+}
+
+timing::Trace ReadTrace(std::istream& is, const std::string& source,
+                        std::size_t max_errors,
+                        std::vector<std::string>& errors) {
+  return ReadTraceLines(is, source,
+                        [&errors, max_errors](const std::string& message) {
+                          if (errors.size() < max_errors)
+                            errors.push_back(message);
+                          return errors.size() < max_errors;
+                        });
 }
 
 timing::Trace ReadTraceFile(const std::string& path) {

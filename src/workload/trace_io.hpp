@@ -7,11 +7,18 @@
 //
 // e.g.  "120 R 3 1021 17" or "120 W 3 1021 17 1". The rank column is
 // optional on input (default 0) and always written on output. Requests
-// must be non-decreasing in cycle.
+// must be non-decreasing in cycle. Lines may end in LF or CRLF, and
+// leading/trailing spaces and tabs are ignored.
+//
+// Both entry points share one per-line parser with the streaming chunked
+// parser (workload/trace_stream.hpp), so whole-trace and constant-memory
+// streaming reads accept the same inputs with the same diagnostics.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "timing/request.hpp"
 
@@ -27,5 +34,13 @@ void WriteTraceFile(const timing::Trace& trace, const std::string& path);
 /// diagnostic (ReadTraceFile passes the path).
 timing::Trace ReadTrace(std::istream& is, const std::string& source = "<trace>");
 timing::Trace ReadTraceFile(const std::string& path);
+
+/// Diagnostic mode: instead of throwing on the first malformed line,
+/// collects up to `max_errors` "<source>:<line>: message" strings into
+/// `errors` (skipping the bad lines) and keeps parsing; once the budget is
+/// exhausted parsing stops. Returns the requests from the good lines.
+timing::Trace ReadTrace(std::istream& is, const std::string& source,
+                        std::size_t max_errors,
+                        std::vector<std::string>& errors);
 
 }  // namespace pair_ecc::workload

@@ -1,0 +1,155 @@
+#include "workload/trace_stream.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+
+namespace pair_ecc::workload {
+
+namespace {
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Next whitespace-delimited token of `s` starting at `pos`; empty when
+/// the line is exhausted.
+std::string_view NextToken(std::string_view s, std::size_t& pos) {
+  while (pos < s.size() && IsSpace(s[pos])) ++pos;
+  const std::size_t begin = pos;
+  while (pos < s.size() && !IsSpace(s[pos])) ++pos;
+  return s.substr(begin, pos - begin);
+}
+
+template <typename T>
+bool ParseNumber(std::string_view token, T& out) {
+  if (token.empty()) return false;
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+TraceLineKind ParseTraceLine(std::string_view line, timing::Request& req,
+                             std::string& error) {
+  std::size_t pos = 0;
+  while (pos < line.size() && IsSpace(line[pos])) ++pos;
+  if (pos == line.size() || line[pos] == '#') return TraceLineKind::kBlank;
+
+  const std::string_view cycle_tok = NextToken(line, pos);
+  const std::string_view op_tok = NextToken(line, pos);
+  const std::string_view bank_tok = NextToken(line, pos);
+  const std::string_view row_tok = NextToken(line, pos);
+  const std::string_view col_tok = NextToken(line, pos);
+
+  req = timing::Request{};
+  if (!ParseNumber(cycle_tok, req.arrival) ||
+      !ParseNumber(bank_tok, req.addr.bank) ||
+      !ParseNumber(row_tok, req.addr.row) ||
+      !ParseNumber(col_tok, req.addr.col) || op_tok.empty()) {
+    error = "expected '<cycle> <R|W> <bank> <row> <col>'";
+    return TraceLineKind::kError;
+  }
+  if (op_tok == "R" || op_tok == "r") {
+    req.op = timing::Op::kRead;
+  } else if (op_tok == "W" || op_tok == "w") {
+    req.op = timing::Op::kWrite;
+  } else {
+    error = "unknown op '" + std::string(op_tok) + "'";
+    return TraceLineKind::kError;
+  }
+
+  const std::string_view rank_tok = NextToken(line, pos);
+  if (rank_tok.empty()) {
+    req.rank = 0;
+  } else if (!ParseNumber(rank_tok, req.rank)) {
+    // The rank column is optional; a present-but-unparsable one is not.
+    error = "bad rank column";
+    return TraceLineKind::kError;
+  }
+  if (!NextToken(line, pos).empty()) {
+    error = "trailing tokens";
+    return TraceLineKind::kError;
+  }
+  return TraceLineKind::kRequest;
+}
+
+StreamingTraceParser::StreamingTraceParser(std::unique_ptr<ByteSource> bytes,
+                                           std::string source,
+                                           std::size_t chunk_bytes)
+    : bytes_(std::move(bytes)), source_(std::move(source)) {
+  PAIR_CHECK(bytes_ != nullptr, "StreamingTraceParser: null byte source");
+  PAIR_CHECK(chunk_bytes > 0, "StreamingTraceParser: zero chunk size");
+  chunk_.resize(chunk_bytes);
+}
+
+bool StreamingTraceParser::NextLine() {
+  line_.clear();
+  bool saw_any = false;
+  for (;;) {
+    if (chunk_pos_ >= chunk_len_) {
+      if (eof_) break;
+      chunk_len_ = bytes_->Read(chunk_.data(), chunk_.size());
+      chunk_pos_ = 0;
+      if (chunk_len_ == 0) {
+        eof_ = true;
+        break;
+      }
+    }
+    const std::string_view rest(chunk_.data() + chunk_pos_,
+                                chunk_len_ - chunk_pos_);
+    const std::size_t nl = rest.find('\n');
+    if (nl == std::string_view::npos) {
+      line_.append(rest);
+      chunk_pos_ = chunk_len_;
+      saw_any = saw_any || !rest.empty();
+      continue;
+    }
+    line_.append(rest.substr(0, nl));
+    chunk_pos_ += nl + 1;
+    return true;  // terminator found (CR, if any, is parser whitespace)
+  }
+  // End of stream: a trailing unterminated line still counts.
+  return saw_any || !line_.empty();
+}
+
+bool StreamingTraceParser::Next(timing::Request& out) {
+  while (NextLine()) {
+    ++line_no_;
+    std::string error;
+    switch (ParseTraceLine(line_, out, error)) {
+      case TraceLineKind::kBlank:
+        continue;
+      case TraceLineKind::kRequest:
+        if (have_last_ && out.arrival < last_arrival_)
+          error = "cycles must be non-decreasing";
+        else {
+          last_arrival_ = out.arrival;
+          have_last_ = true;
+          return true;
+        }
+        [[fallthrough]];
+      case TraceLineKind::kError:
+        throw std::runtime_error(source_ + ":" + std::to_string(line_no_) +
+                                 ": " + error);
+    }
+  }
+  return false;
+}
+
+void StreamingTraceParser::Reset() {
+  bytes_->Reset();
+  chunk_len_ = 0;
+  chunk_pos_ = 0;
+  eof_ = false;
+  line_.clear();
+  line_no_ = 0;
+  last_arrival_ = 0;
+  have_last_ = false;
+}
+
+std::unique_ptr<StreamingTraceParser> OpenTraceStream(const std::string& path) {
+  return std::make_unique<StreamingTraceParser>(OpenByteSource(path), path);
+}
+
+}  // namespace pair_ecc::workload

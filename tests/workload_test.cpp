@@ -336,6 +336,58 @@ TEST(TraceIo, SampleTraceParses) {
   }
 }
 
+TEST(TraceIo, AcceptsCrlfAndTrailingWhitespace) {
+  std::stringstream in(
+      "# exported from Windows tooling\r\n"
+      "\r\n"
+      "10 R 1 2 3\r\n"
+      "20 W 4 5 6   \r\n"
+      "30 R 7 8 9\t\n"
+      "40 W 1 2 3 1 \t \r\n");
+  const auto trace = ReadTrace(in);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].arrival, 10u);
+  EXPECT_EQ(trace[1].addr.col, 6u);
+  EXPECT_EQ(trace[2].addr.col, 9u);
+  EXPECT_EQ(trace[3].rank, 1u);
+}
+
+TEST(TraceIo, DiagnosticModeCollectsErrorsAndKeepsGoodLines) {
+  std::stringstream in(
+      "0 R 0 0 0\n"
+      "bogus\n"
+      "10 W 1 2 3\n"
+      "20 Q 1 2 3\n"
+      "30 R 4 5 6\n");
+  std::vector<std::string> errors;
+  const auto trace = ReadTrace(in, "demand.trace", 8, errors);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[2].arrival, 30u);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("demand.trace:2:"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[1].find("demand.trace:4:"), std::string::npos) << errors[1];
+}
+
+TEST(TraceIo, DiagnosticModeStopsWhenBudgetExhausted) {
+  std::stringstream in(
+      "bad one\n"
+      "bad two\n"
+      "bad three\n"
+      "50 R 0 0 0\n");
+  std::vector<std::string> errors;
+  const auto trace = ReadTrace(in, "t", 2, errors);
+  EXPECT_EQ(errors.size(), 2u);   // budget, not the full error count
+  EXPECT_TRUE(trace.empty());     // parsing stopped before the good line
+}
+
+TEST(TraceIo, DiagnosticModeZeroBudgetStopsImmediately) {
+  std::stringstream in("bad\n0 R 0 0 0\n");
+  std::vector<std::string> errors;
+  const auto trace = ReadTrace(in, "t", 0, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(trace.empty());
+}
+
 TEST(TraceIo, FileRoundTrip) {
   WorkloadConfig cfg;
   cfg.num_requests = 100;

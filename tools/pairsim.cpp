@@ -17,13 +17,24 @@
 //                       [--requests N] [--intensity I] [--seed X]
 //                       [--trace FILE] [--save-trace FILE]
 //       Cycle-approximate DDR4 simulation, normalised to No-ECC.
-//   pairsim system      [--scheme S] [--trace FILE | --pattern P
-//                       --requests N] [--fault-rate R] [--scrub-interval C]
+//   pairsim system      [--scheme S] [--trace FILE | --trace-gen KIND |
+//                       --pattern P --requests N] [--geometry G]
+//                       [--scheduler frfcfs|fcfs|prac] [--stream 1]
+//                       [--fault-rate R] [--scrub-interval C]
 //                       [--due-threshold K] [--trials T] [--seed X]
 //                       [--threads W] [--json FILE]
 //       Event-driven full-system lifetimes: demand traffic, Poisson fault
 //       arrivals, patrol scrub, and threshold repair interleaved over one
-//       event queue, timed by the DDR4 controller (src/sim).
+//       event queue, timed by the memory controller (src/sim).
+//       --geometry selects a device/timing preset (ddr4-3200, ddr5-4800,
+//       hbm3); --scheduler the controller policy. --trace-gen KIND
+//       (tensor|pointer|batch) streams a synthetic AI/HPC workload in
+//       constant memory; gzip/zstd traces and --stream 1 also take the
+//       streaming path, plain --trace files stay materialized (bitwise
+//       with earlier releases).
+//   pairsim trace --gen tensor|pointer|batch --requests N --out FILE
+//       Write a synthetic streaming workload as a trace file (gzip when
+//       FILE ends in .gz) for CI fixtures and cross-tool runs.
 //   pairsim campaign run --checkpoint FILE [--mode reliability|system]
 //                        [--shard i/N] [--checkpoint-every K]
 //                        [--max-shards M] [--json FILE] [mode flags...]
@@ -83,10 +94,16 @@
 #include "sim/memory_system.hpp"
 #include "telemetry/report.hpp"
 #include "timing/controller.hpp"
+#include "timing/presets.hpp"
+#include "timing/request_source.hpp"
+#include "timing/scheduler.hpp"
 #include "util/atomic_file.hpp"
 #include "util/table.hpp"
+#include "workload/byte_source.hpp"
 #include "workload/generator.hpp"
+#include "workload/streams.hpp"
 #include "workload/trace_io.hpp"
+#include "workload/trace_stream.hpp"
 
 using namespace pair_ecc;
 
@@ -528,10 +545,15 @@ int CmdPerf(Args& args) {
 struct SystemFlags {
   sim::SystemConfig cfg;
   workload::WorkloadConfig wl;
+  workload::StreamConfig stream;
   std::string scheme_name;
   std::string mix_name;
   std::string pattern_name;
   std::string trace_path;
+  std::string geometry_name;
+  std::string scheduler_name;
+  std::string stream_name;  ///< --trace-gen kind; empty = not requested
+  bool force_stream = false;
 };
 
 SystemFlags ParseSystemFlags(Args& args) {
@@ -540,6 +562,17 @@ SystemFlags ParseSystemFlags(Args& args) {
   f.mix_name = args.Get("mix", "inherent");
   f.cfg.scheme = ParseScheme(f.scheme_name);
   f.cfg.mix = ParseMix(f.mix_name);
+  // Geometry preset: device geometry + timing parameters as one coherent
+  // unit. The ddr4-3200 default reproduces the pre-preset defaults bitwise.
+  const timing::GeometryPreset preset_kind =
+      timing::GeometryPresetFromString(args.Get("geometry", "ddr4-3200"));
+  const timing::SystemPreset preset = timing::MakePreset(preset_kind);
+  f.geometry_name = timing::ToString(preset.kind);
+  f.cfg.geometry = preset.geometry;
+  f.cfg.timing = preset.timing;
+  f.cfg.scheduler =
+      timing::SchedulerKindFromString(args.Get("scheduler", "frfcfs"));
+  f.scheduler_name = timing::ToString(f.cfg.scheduler);
   f.cfg.faults_per_mcycle = args.GetDouble("fault-rate", 20.0);
   f.cfg.horizon_cycles = args.GetU64("horizon", 0);
   f.cfg.scrub.interval_cycles = args.GetU64("scrub-interval", 5000);
@@ -570,34 +603,39 @@ SystemFlags ParseSystemFlags(Args& args) {
   f.wl.read_fraction = args.GetDouble("reads", 0.67);
   f.wl.num_requests = args.GetUnsigned("requests", 400);
   f.wl.intensity = args.GetDouble("intensity", 0.05);
+  // Synthetic workloads exercise every bank the preset's timing model has.
+  f.wl.banks = f.cfg.timing.banks;
   f.wl.seed = f.cfg.seed;
+
+  f.stream_name = args.Get("trace-gen", "");
+  f.force_stream = args.GetUnsigned("stream", 0) != 0;
+  if (!f.stream_name.empty()) {
+    if (!f.trace_path.empty())
+      throw std::runtime_error("--trace and --trace-gen are mutually "
+                               "exclusive");
+    f.stream.kind = workload::StreamKindFromString(f.stream_name);
+    f.stream.num_requests = f.wl.num_requests;
+    f.stream.ranks = f.cfg.timing.ranks;
+    f.stream.banks = f.cfg.timing.banks;
+    f.stream.intensity = args.GetDouble("stream-intensity", 0.25);
+    f.stream.read_fraction = f.wl.read_fraction;
+    f.stream.burst_len = args.GetUnsigned("burst", 256);
+    f.stream.gap_cycles = args.GetUnsigned("gap", 2000);
+    f.stream.hot_rows = args.GetUnsigned("hot-rows", 4);
+    f.stream.seed = f.cfg.seed;
+    f.stream.Validate();
+  } else {
+    // Consume the stream-only flags so CheckAllConsumed stays a typo check.
+    args.GetDouble("stream-intensity", 0.25);
+    args.GetUnsigned("burst", 256);
+    args.GetUnsigned("gap", 2000);
+    args.GetUnsigned("hot-rows", 4);
+  }
   return f;
 }
 
-int CmdSystem(Args& args) {
-  SystemFlags f = ParseSystemFlags(args);
-  const unsigned trials = args.GetUnsigned("trials", 200);
-  const std::string json_path = args.Get("json", "");
-  args.CheckAllConsumed();
-  const sim::SystemConfig& cfg = f.cfg;
-
-  const timing::Trace demand = f.trace_path.empty()
-                                   ? workload::Generate(f.wl)
-                                   : workload::ReadTraceFile(f.trace_path);
-  ValidateDemandTrace(demand, cfg.timing,
-                      f.trace_path.empty() ? "<synthetic>" : f.trace_path);
-
-  const auto start = std::chrono::steady_clock::now();
-  reliability::ScenarioTelemetry tel;
-  const sim::SystemStats s =
-      sim::RunSystemCampaign(cfg, demand, trials, &tel);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
-  std::cout << "threads "
-            << reliability::TrialEngine::ResolveThreads(cfg.threads) << ", "
-            << trials << " trials x " << demand.size() << " requests in "
-            << util::Table::Fixed(elapsed.count(), 2) << " s\n";
-
+void PrintSystemSummary(const sim::SystemStats& s,
+                        const sim::SystemConfig& cfg) {
   util::Table t({"metric", "value"});
   t.AddRow({"trials", std::to_string(s.trials)});
   t.AddRow({"demand reads / writes", std::to_string(s.demand_reads) + " / " +
@@ -618,14 +656,136 @@ int CmdSystem(Args& args) {
             util::Table::Fixed(s.BytesPerCycle() / cfg.timing.tck_ns, 2)});
   t.AddRow({"protocol violations", std::to_string(s.protocol_violations)});
   t.Print(std::cout);
+}
 
-  if (!json_path.empty()) {
-    const auto report =
-        sim::BuildSystemReport(cfg, trials, demand.size(), s, tel);
-    if (!telemetry::WriteReportFile(report, json_path))
-      throw std::runtime_error("cannot write JSON report to " + json_path);
-    std::cout << "report written to " << json_path << "\n";
+void WriteSystemReport(const sim::SystemConfig& cfg, unsigned trials,
+                       std::uint64_t demand_requests,
+                       const sim::SystemStats& s,
+                       const reliability::ScenarioTelemetry& tel,
+                       const SystemFlags& f, const std::string& demand_source,
+                       const std::string& json_path) {
+  auto report = sim::BuildSystemReport(
+      cfg, trials, static_cast<std::size_t>(demand_requests), s, tel);
+  report.MetaString("geometry", f.geometry_name);
+  report.MetaString("demand_source", demand_source);
+  if (!telemetry::WriteReportFile(report, json_path))
+    throw std::runtime_error("cannot write JSON report to " + json_path);
+  std::cout << "report written to " << json_path << "\n";
+}
+
+int CmdSystem(Args& args) {
+  SystemFlags f = ParseSystemFlags(args);
+  const unsigned trials = args.GetUnsigned("trials", 200);
+  const std::string json_path = args.Get("json", "");
+  args.CheckAllConsumed();
+  const sim::SystemConfig& cfg = f.cfg;
+
+  // Three demand modes: a synthetic stream and compressed (or --stream 1)
+  // trace files take the constant-memory streaming path; plain --trace
+  // files and --pattern workloads stay materialized, bitwise-identical to
+  // earlier releases.
+  const bool compressed =
+      !f.trace_path.empty() && workload::IsCompressedFile(f.trace_path);
+  if (!f.stream_name.empty() || compressed ||
+      (f.force_stream && !f.trace_path.empty())) {
+    sim::RequestSourceFactory factory;
+    std::string source_name;
+    if (!f.stream_name.empty()) {
+      const workload::StreamConfig stream = f.stream;
+      factory = [stream] { return workload::MakeStream(stream); };
+      source_name = "stream:" + f.stream_name;
+    } else {
+      const std::string path = f.trace_path;
+      factory = [path]() -> std::unique_ptr<timing::RequestSource> {
+        return workload::OpenTraceStream(path);
+      };
+      source_name = f.trace_path;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    reliability::ScenarioTelemetry tel;
+    sim::StreamingDemandInfo dinfo;
+    const sim::SystemStats s =
+        sim::RunSystemCampaignStreaming(cfg, factory, trials, &tel, &dinfo);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    std::cout << "threads "
+              << reliability::TrialEngine::ResolveThreads(cfg.threads) << ", "
+              << trials << " trials x " << dinfo.requests
+              << " streamed requests in "
+              << util::Table::Fixed(elapsed.count(), 2) << " s\n";
+    PrintSystemSummary(s, cfg);
+
+    if (!json_path.empty()) {
+      // Report the horizon the trials actually ran to, not the 0
+      // placeholder the pre-pass resolved.
+      sim::SystemConfig report_cfg = cfg;
+      report_cfg.horizon_cycles = dinfo.horizon_cycles;
+      WriteSystemReport(report_cfg, trials, dinfo.requests, s, tel, f,
+                        source_name, json_path);
+    }
+    return 0;
   }
+
+  const timing::Trace demand = f.trace_path.empty()
+                                   ? workload::Generate(f.wl)
+                                   : workload::ReadTraceFile(f.trace_path);
+  ValidateDemandTrace(demand, cfg.timing,
+                      f.trace_path.empty() ? "<synthetic>" : f.trace_path);
+
+  const auto start = std::chrono::steady_clock::now();
+  reliability::ScenarioTelemetry tel;
+  const sim::SystemStats s =
+      sim::RunSystemCampaign(cfg, demand, trials, &tel);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::cout << "threads "
+            << reliability::TrialEngine::ResolveThreads(cfg.threads) << ", "
+            << trials << " trials x " << demand.size() << " requests in "
+            << util::Table::Fixed(elapsed.count(), 2) << " s\n";
+  PrintSystemSummary(s, cfg);
+
+  if (!json_path.empty())
+    WriteSystemReport(cfg, trials, demand.size(), s, tel, f,
+                      f.trace_path.empty() ? "pattern:" + f.pattern_name
+                                           : f.trace_path,
+                      json_path);
+  return 0;
+}
+
+/// `pairsim trace`: materialize a synthetic streaming workload as a trace
+/// file other tools (and CI) can replay; gzip output when FILE ends in .gz.
+int CmdTrace(Args& args) {
+  workload::StreamConfig cfg;
+  cfg.kind = workload::StreamKindFromString(args.Get("gen", "tensor"));
+  cfg.num_requests = args.GetU64("requests", 100000);
+  cfg.ranks = args.GetUnsigned("ranks", 1);
+  cfg.banks = args.GetUnsigned("banks", 16);
+  cfg.rows = args.GetUnsigned("rows", 64);
+  cfg.cols = args.GetUnsigned("cols", 128);
+  cfg.intensity = args.GetDouble("stream-intensity", 0.25);
+  cfg.read_fraction = args.GetDouble("reads", 0.9);
+  cfg.burst_len = args.GetUnsigned("burst", 256);
+  cfg.gap_cycles = args.GetUnsigned("gap", 2000);
+  cfg.hot_rows = args.GetUnsigned("hot-rows", 4);
+  cfg.seed = args.GetU64("seed", 1);
+  const std::string out = args.Get("out", "");
+  args.CheckAllConsumed();
+  cfg.Validate();
+  if (out.empty()) throw std::runtime_error("trace requires --out FILE");
+
+  const auto source = workload::MakeStream(cfg);
+  const timing::Trace trace = timing::Materialize(*source);
+  const bool gz = out.size() > 3 && out.compare(out.size() - 3, 3, ".gz") == 0;
+  if (gz) {
+    std::ostringstream buf;
+    workload::WriteTrace(trace, buf);
+    workload::GzipWriteFile(out, buf.str());
+  } else {
+    workload::WriteTraceFile(trace, out);
+  }
+  std::cout << "wrote " << trace.size() << " requests to " << out
+            << (gz ? " (gzip)" : "") << "\n";
   return 0;
 }
 
@@ -731,13 +891,23 @@ int CmdCampaignRun(Args& args) {
     SystemFlags f = ParseSystemFlags(args);
     trials = ResolveTrials(args.GetUnsigned("trials", 200));
     spec.system = f.cfg;
-    spec.demand = f.trace_path.empty()
-                      ? workload::Generate(f.wl)
-                      : workload::ReadTraceFile(f.trace_path);
+    // Campaign checkpoints need the whole demand trace in the spec, so
+    // --trace-gen streams are materialized here (campaigns are about
+    // crash-safety, not trace scale; use `pairsim system` for multi-GB
+    // streams).
+    spec.demand = !f.stream_name.empty()
+                      ? timing::Materialize(*workload::MakeStream(f.stream))
+                      : (f.trace_path.empty()
+                             ? workload::Generate(f.wl)
+                             : workload::ReadTraceFile(f.trace_path));
     ValidateDemandTrace(spec.demand, spec.system.timing,
                         f.trace_path.empty() ? "<synthetic>" : f.trace_path);
     fp.Set("scheme", telemetry::JsonValue(f.scheme_name));
     fp.Set("mix", telemetry::JsonValue(f.mix_name));
+    // Geometry and scheduler are campaign identity: runs under different
+    // presets or policies must never resume or merge into each other.
+    fp.Set("geometry", telemetry::JsonValue(f.geometry_name));
+    fp.Set("scheduler", telemetry::JsonValue(f.scheduler_name));
     fp.Set("faults_per_mcycle",
            telemetry::JsonValue(spec.system.faults_per_mcycle));
     fp.Set("horizon_cycles", telemetry::JsonValue(spec.system.horizon_cycles));
@@ -767,6 +937,14 @@ int CmdCampaignRun(Args& args) {
       fp.Set("trace_requests",
              telemetry::JsonValue(static_cast<std::uint64_t>(
                  spec.demand.size())));
+    } else if (!f.stream_name.empty()) {
+      fp.Set("trace_gen", telemetry::JsonValue(f.stream_name));
+      fp.Set("requests", telemetry::JsonValue(f.stream.num_requests));
+      fp.Set("read_fraction", telemetry::JsonValue(f.stream.read_fraction));
+      fp.Set("stream_intensity", telemetry::JsonValue(f.stream.intensity));
+      fp.Set("burst", telemetry::JsonValue(f.stream.burst_len));
+      fp.Set("gap", telemetry::JsonValue(f.stream.gap_cycles));
+      fp.Set("hot_rows", telemetry::JsonValue(f.stream.hot_rows));
     } else {
       fp.Set("pattern", telemetry::JsonValue(f.pattern_name));
       fp.Set("read_fraction", telemetry::JsonValue(f.wl.read_fraction));
@@ -871,7 +1049,8 @@ int CmdCampaignMerge(Args& args) {
 
 int Usage() {
   std::cerr
-      << "usage: pairsim <codes|reliability|lifetime|perf|system|campaign> "
+      << "usage: pairsim "
+         "<codes|reliability|lifetime|perf|system|trace|campaign> "
          "[--flag value]...\n"
          "  pairsim codes\n"
          "  pairsim reliability --scheme pair4 --mix inherent --faults 2\n"
@@ -881,10 +1060,16 @@ int Usage() {
          "  pairsim lifetime --scheme pair4 --epochs 50 --rate 0.1 --scrub 8\n"
          "                   [--threads 8] [--json out.json]\n"
          "  pairsim perf --scheme pair4 --pattern hotspot --reads 0.5\n"
-         "  pairsim system --scheme pair4 [--trace t.txt | --pattern hotspot\n"
-         "                 --requests 400] [--fault-rate 20]\n"
-         "                 [--scrub-interval 5000] [--due-threshold 3]\n"
-         "                 [--trials 200] [--threads 8] [--json out.json]\n"
+         "  pairsim system --scheme pair4 [--trace t.txt[.gz] [--stream 1] |\n"
+         "                 --trace-gen tensor|pointer|batch | --pattern "
+         "hotspot]\n"
+         "                 [--geometry ddr4-3200|ddr5-4800|hbm3]\n"
+         "                 [--scheduler frfcfs|fcfs|prac] [--requests 400]\n"
+         "                 [--fault-rate 20] [--scrub-interval 5000]\n"
+         "                 [--due-threshold 3] [--trials 200] [--threads 8]\n"
+         "                 [--json out.json]\n"
+         "  pairsim trace --gen tensor --requests 100000 --seed 1 "
+         "--out t.txt.gz\n"
          "  pairsim campaign run --checkpoint ck.json [--mode "
          "reliability|system]\n"
          "                 [--shard i/N] [--checkpoint-every 4] "
@@ -925,6 +1110,7 @@ int main(int argc, char** argv) {
     if (cmd == "lifetime") return CmdLifetime(args);
     if (cmd == "perf") return CmdPerf(args);
     if (cmd == "system") return CmdSystem(args);
+    if (cmd == "trace") return CmdTrace(args);
     return Usage();
   } catch (const std::exception& e) {
     std::cerr << "pairsim: " << e.what() << "\n";
